@@ -1,0 +1,72 @@
+"""Ablation (Section 3.3): cost of the Parallel Track discard detection.
+
+The paper singles out the periodic per-operator purge check ("this check
+is repeated until the old plan is discarded, and hence introduces
+significant overhead").  This bench quantifies it: the paper-faithful
+full-scan check vs. a globally early-exiting variant, at two polling
+intervals, during one migration stage.
+"""
+
+from benchmarks.common import emit, once
+from repro.engine.metrics import Counter
+from repro.migration.parallel_track import ParallelTrackStrategy
+from repro.workloads.scenarios import chain_scenario, swap_for_case
+
+N_JOINS = 10
+WINDOW = 80
+KEY_DOMAIN = 3 * WINDOW  # keep 11-way multiplicities bounded
+
+
+def run():
+    scenario = chain_scenario(N_JOINS, 10_000, WINDOW, key_domain=KEY_DOMAIN, seed=23)
+    swapped = swap_for_case(scenario.order, "best")
+    warmup = 4_000
+    results = {}
+    for label, full, interval in (
+        ("full/16", True, 16),
+        ("full/64", True, 64),
+        ("early/16", False, 16),
+        ("early/64", False, 64),
+    ):
+        st = ParallelTrackStrategy(
+            scenario.schema,
+            scenario.order,
+            purge_check_interval=interval,
+            purge_scan_full=full,
+        )
+        for tup in scenario.tuples[:warmup]:
+            st.process(tup)
+        st.transition(swapped)
+        stage = 0
+        for tup in scenario.tuples[warmup:]:
+            st.process(tup)
+            stage += 1
+            if not st.in_migration():
+                break
+        results[label] = {
+            "total": st.now(),
+            "purge_checks": st.metrics.get(Counter.PURGE_CHECK),
+            "stage_tuples": stage,
+            "outputs": len(st.outputs),
+        }
+    return results
+
+
+def test_ablation_parallel_track_purge(benchmark):
+    results = once(benchmark, run)
+    lines = [
+        f"{'variant':>10} {'total vt':>12} {'purge checks':>13} "
+        f"{'stage tuples':>13} {'outputs':>9}"
+    ]
+    for label, d in results.items():
+        lines.append(
+            f"{label:>10} {d['total']:>12.0f} {d['purge_checks']:>13d} "
+            f"{d['stage_tuples']:>13d} {d['outputs']:>9d}"
+        )
+    emit("ablation_pt_purge", lines)
+    # Same results regardless of the polling policy.
+    outputs = {d["outputs"] for d in results.values()}
+    assert len(outputs) == 1
+    # Full scans dominate the early-exit variant; finer polling costs more.
+    assert results["full/16"]["purge_checks"] > results["early/16"]["purge_checks"]
+    assert results["full/16"]["purge_checks"] > results["full/64"]["purge_checks"]

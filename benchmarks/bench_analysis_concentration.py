@@ -1,0 +1,72 @@
+"""Section 5 Propositions 1-3: the concentration law, exact vs. Monte Carlo.
+
+Regenerates the analysis behind JISC's robustness claim: under the
+triangular pairwise-exchange distribution (Eq. 1-2), the expected number
+of complete states E[C_n] stays close to n, its variance matches the
+closed form of Proposition 1, and C_n / n tends to 1 (Proposition 3).
+
+Additionally cross-validates the theory against the *system*: sampled
+exchanges are applied to real plans and the classifier's incomplete-state
+count must equal the sampled distance J - I.
+"""
+
+import random
+
+from benchmarks.common import emit, once
+from repro.analysis.concentration import (
+    chebyshev_bound,
+    expected_complete_states,
+    monte_carlo_summary,
+    variance_complete_states,
+)
+from repro.plans.transitions import incomplete_count, random_exchange
+
+NS = (10, 20, 50, 100, 200)
+TRIALS = 20_000
+
+
+def run():
+    rows = {}
+    for n in NS:
+        rows[n] = monte_carlo_summary(n, TRIALS, seed=13)
+        rows[n]["chebyshev_0.2"] = chebyshev_bound(n, 0.2)
+    # system cross-check on a real plan (n joins = n+1 streams)
+    rng = random.Random(13)
+    order = tuple(f"S{i}" for i in range(21))
+    mismatches = 0
+    for _ in range(2_000):
+        new_order, i, j = random_exchange(order, rng)
+        if incomplete_count(order, new_order) != j - i:
+            mismatches += 1
+    return rows, mismatches
+
+
+def test_analysis_concentration(benchmark):
+    rows, mismatches = once(benchmark, run)
+    lines = [
+        f"{'n':>5} {'E[C_n] exact':>13} {'E[C_n] MC':>11} {'Var exact':>11} "
+        f"{'Var MC':>11} {'C_n/n':>7} {'Cheb(0.2)':>10}"
+    ]
+    for n in NS:
+        s = rows[n]
+        lines.append(
+            f"{n:>5d} {s['exact_mean']:>13.2f} {s['empirical_mean']:>11.2f} "
+            f"{s['exact_variance']:>11.1f} {s['empirical_variance']:>11.1f} "
+            f"{s['mean_ratio']:>7.3f} {s['chebyshev_0.2']:>10.3f}"
+        )
+    lines.append(f"plan-classifier mismatches over 2000 sampled exchanges: {mismatches}")
+    emit("analysis_concentration", lines)
+
+    assert mismatches == 0
+    for n in NS:
+        s = rows[n]
+        assert abs(s["empirical_mean"] - s["exact_mean"]) / s["exact_mean"] < 0.02
+        assert abs(s["empirical_variance"] - s["exact_variance"]) < 0.1 * s[
+            "exact_variance"
+        ] + 1.0
+    # concentration: the ratio C_n/n increases towards 1
+    ratios = [rows[n]["mean_ratio"] for n in NS]
+    assert ratios == sorted(ratios)
+    # sanity against the closed forms used in the table
+    assert expected_complete_states(100) == rows[100]["exact_mean"]
+    assert variance_complete_states(100) == rows[100]["exact_variance"]

@@ -1,0 +1,56 @@
+"""Extension: the n-ary MJoin baseline vs. CACQ and the pipelined plan.
+
+MJoin (Section 2.1's excluded n-ary operator, built here as an extra
+baseline) shares CACQ's zero-cost transitions but skips the eddy's
+per-hop routing overhead.  On uniform workloads the measured ordering is
+
+    MJoin < pipelined < CACQ
+
+reproducing the classic n-ary-join finding: with uniform selectivities the
+pipeline's materialized intermediate states cost more to maintain (inserts,
+expiry cascades) than MJoin's per-tuple re-derivation, while CACQ pays
+MJoin's re-derivation *plus* per-partial probes and eddy routing.  The
+pipeline's advantage — and JISC's reason to exist — lies where intermediate
+results are selective and reusable; this bench documents the other end of
+that trade-off.
+"""
+
+from benchmarks.common import emit, once
+from repro.eddy.cacq import CACQExecutor
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.mjoin import MJoinExecutor
+from repro.workloads.scenarios import chain_scenario
+
+N_JOINS = 5
+WINDOW = 80
+KEY_DOMAIN = WINDOW // 2  # ~2 matches per probe: the dense regime
+N_TUPLES = 12_000
+
+
+def run():
+    scenario = chain_scenario(N_JOINS, N_TUPLES, WINDOW, key_domain=KEY_DOMAIN, seed=29)
+    results = {}
+    for cls in (StaticPlanExecutor, MJoinExecutor, CACQExecutor):
+        st = cls(scenario.schema, scenario.order)
+        for tup in scenario.tuples:
+            st.process(tup)
+        results[st.name] = {
+            "total": st.metrics.clock.now,
+            "outputs": len(st.outputs),
+        }
+    return results
+
+
+def test_ext_mjoin_baseline(benchmark):
+    results = once(benchmark, run)
+    lines = [f"{'executor':>10} {'total vt':>12} {'outputs':>9}"]
+    for name, d in results.items():
+        lines.append(f"{name:>10} {d['total']:>12.0f} {d['outputs']:>9d}")
+    emit("ext_mjoin", lines)
+    outputs = {d["outputs"] for d in results.values()}
+    assert len(outputs) == 1  # identical results
+    assert (
+        results["mjoin"]["total"]
+        < results["static"]["total"]
+        < results["cacq"]["total"]
+    )

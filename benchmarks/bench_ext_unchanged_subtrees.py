@@ -1,0 +1,63 @@
+"""Extension bench for Section 5.2's "open-ended gain" claim (Figure 5).
+
+"JISC avoids this redundancy by detecting that all the states in the
+unchanged subtrees are complete ... a potentially open-ended gain in the
+performance of JISC compared to CACQ and the Parallel Track Strategy, as
+the complete subtrees can have an arbitrarily large number of operators
+and arbitrarily large window sizes."
+
+Here the transition is fixed (best case: one incomplete state just below
+the root) while the *window size* of every stream grows.  JISC's
+migration-stage cost per tuple stays flat — the unchanged subtrees are
+adopted, not recomputed — while Parallel Track's per-tuple cost grows with
+the window (its purge polling and double processing scale with state
+size).
+"""
+
+from benchmarks.common import emit, once
+from repro.experiments.common import measure_migration_stage
+
+WINDOWS = (40, 80, 160)
+N_JOINS = 10
+
+
+def run():
+    results = {}
+    for window in WINDOWS:
+        rows = measure_migration_stage(
+            N_JOINS, window=window, case="best", seed=31
+        )
+        results[window] = {
+            r.strategy: (r.virtual_time, r.tuples) for r in rows
+        }
+    return results
+
+
+def test_ext_unchanged_subtrees_gain(benchmark):
+    results = once(benchmark, run)
+    lines = [
+        f"{'window':>7} {'jisc/tuple':>11} {'cacq/tuple':>11} {'pt/tuple':>10} "
+        f"{'speedup/pt':>11}"
+    ]
+    per_tuple = {}
+    for window, d in results.items():
+        row = {}
+        for name, (vt, tuples) in d.items():
+            row[name] = vt / tuples
+        per_tuple[window] = row
+        lines.append(
+            f"{window:>7d} {row['jisc']:>11.2f} {row['cacq']:>11.2f} "
+            f"{row['parallel_track']:>10.2f} "
+            f"{row['parallel_track'] / row['jisc']:>11.2f}"
+        )
+    emit("ext_unchanged_subtrees", lines)
+    # JISC's per-tuple migration-stage cost stays roughly flat with the
+    # window; Parallel Track's grows, so the speedup widens (open-ended).
+    speedups = [
+        per_tuple[w]["parallel_track"] / per_tuple[w]["jisc"] for w in WINDOWS
+    ]
+    assert speedups[-1] > speedups[0]
+    jisc_costs = [per_tuple[w]["jisc"] for w in WINDOWS]
+    assert jisc_costs[-1] < 2.5 * jisc_costs[0]  # near-flat
+    pt_costs = [per_tuple[w]["parallel_track"] for w in WINDOWS]
+    assert pt_costs[-1] > 2.5 * pt_costs[0]  # grows with state size

@@ -1,0 +1,52 @@
+"""Figure 10: output latency caused by a plan transition, vs. window size.
+
+Latency = virtual time from the transition trigger to the first output
+tuple produced afterwards (Section 6.3).
+
+(a) Plans of symmetric hash joins: Moving State halts to rebuild the
+missing states at one probe per child entry (linear in the window); JISC
+resumes immediately.
+
+(b) Plans of nested-loops joins (general theta joins): the eager rebuild
+scans the opposite state per entry — quadratic in the window, the paper's
+"minutes to hours" regime — while JISC still only completes the probing
+value's entries on demand.
+"""
+
+from benchmarks.common import emit, once
+from repro.experiments.common import measure_latency
+
+WINDOWS = (40, 80, 160)
+N_JOINS = 5
+
+
+def run():
+    results = {}
+    for join in ("hash", "nl"):
+        for window in WINDOWS:
+            results[(join, window)] = measure_latency(
+                window=window, n_joins=N_JOINS, join=join, case="worst", seed=5
+            )
+    return results
+
+
+def test_fig10_output_latency(benchmark):
+    results = once(benchmark, run)
+    lines = [f"{'join':>6} {'window':>7} {'jisc':>12} {'moving_state':>13} {'ratio':>8}"]
+    for (join, window), lat in results.items():
+        lines.append(
+            f"{join:>6} {window:>7d} {lat['jisc']:>12.1f} "
+            f"{lat['moving_state']:>13.1f} "
+            f"{lat['moving_state'] / max(lat['jisc'], 1e-9):>8.1f}"
+        )
+    emit("fig10_latency", lines)
+
+    # (a) hash joins: Moving State latency grows ~linearly with the window.
+    hash_lat = [results[("hash", w)]["moving_state"] for w in WINDOWS]
+    assert hash_lat[-1] > hash_lat[0]
+    # (b) nested loops: quadratic blow-up — 4x window => >6x latency.
+    nl_lat = [results[("nl", w)]["moving_state"] for w in WINDOWS]
+    assert nl_lat[-1] > 6 * nl_lat[0]
+    # JISC stays far below Moving State in the NL regime.
+    for w in WINDOWS:
+        assert results[("nl", w)]["jisc"] < results[("nl", w)]["moving_state"] / 3

@@ -1,0 +1,57 @@
+"""Figure 11: execution time vs. plan-transition frequency — worst case.
+
+Transitions are forced every ``period`` tuples (alternating between the
+swapped and original order so that every transition creates fresh
+incomplete states); total execution time over a fixed tuple stream is
+reported per strategy.  Paper findings: JISC wins at every frequency;
+Parallel Track degrades as transitions become frequent (overlapping
+tracks, dedup, purge polling); CACQ is flat — it performs identically
+regardless of transitions.
+"""
+
+from benchmarks.common import emit, once
+from repro.experiments.common import measure_frequency_sweep
+
+N_JOINS = 12
+WINDOW = 60
+# The paper forces transitions every 1-10M tuples against a ~210k-tuple
+# window turnover (ratios ~5-48); the periods below match those ratios at
+# this scale (turnover = window * n_streams).
+TURNOVER = WINDOW * (N_JOINS + 1)
+PERIODS = (5 * TURNOVER, 10 * TURNOVER, 20 * TURNOVER, 40 * TURNOVER)
+N_TUPLES = 80 * TURNOVER
+
+
+def run():
+    return measure_frequency_sweep(
+        N_JOINS,
+        periods=PERIODS,
+        window=WINDOW,
+        n_tuples=N_TUPLES,
+        case="worst",
+        seed=11,
+    )
+
+
+def test_fig11_transition_frequency_worst(benchmark):
+    rows = once(benchmark, run)
+    by_period = {}
+    for r in rows:
+        by_period.setdefault(int(r.extra["period"]), {})[r.strategy] = r.virtual_time
+    lines = [f"{'period':>8} {'jisc':>12} {'cacq':>12} {'parallel':>12}"]
+    for period in PERIODS:
+        d = by_period[period]
+        lines.append(
+            f"{period:>8d} {d['jisc']:>12.0f} {d['cacq']:>12.0f} "
+            f"{d['parallel_track']:>12.0f}"
+        )
+    emit("fig11_frequency_worst", lines)
+    for d in by_period.values():
+        assert d["jisc"] < d["cacq"]
+        assert d["jisc"] < d["parallel_track"]
+    # Parallel Track suffers under frequent transitions; CACQ is flat.
+    assert by_period[PERIODS[0]]["parallel_track"] > by_period[PERIODS[-1]][
+        "parallel_track"
+    ]
+    cacq = [by_period[p]["cacq"] for p in PERIODS]
+    assert max(cacq) < 1.1 * min(cacq)

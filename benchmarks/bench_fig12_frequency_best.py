@@ -1,0 +1,57 @@
+"""Figure 12: execution time vs. transition frequency — best case.
+
+As Figure 11, but each transition leaves only one incomplete state just
+below the root.  JISC's advantage widens further: nearly all states are
+detected complete and reused, so even very frequent transitions barely
+cost anything.
+"""
+
+from benchmarks.common import emit, once
+from repro.experiments.common import measure_frequency_sweep
+
+N_JOINS = 12
+WINDOW = 60
+TURNOVER = WINDOW * (N_JOINS + 1)  # see bench_fig11 for the period scaling
+PERIODS = (5 * TURNOVER, 10 * TURNOVER, 20 * TURNOVER, 40 * TURNOVER)
+N_TUPLES = 80 * TURNOVER
+
+
+def run():
+    results = {}
+    for case in ("best", "worst"):
+        rows = measure_frequency_sweep(
+            N_JOINS,
+            periods=PERIODS,
+            window=WINDOW,
+            n_tuples=N_TUPLES,
+            case=case,
+            seed=11,
+        )
+        for r in rows:
+            results.setdefault(case, {}).setdefault(
+                int(r.extra["period"]), {}
+            )[r.strategy] = r.virtual_time
+    return results
+
+
+def test_fig12_transition_frequency_best(benchmark):
+    results = once(benchmark, run)
+    best = results["best"]
+    worst = results["worst"]
+    lines = [
+        f"{'period':>8} {'jisc':>12} {'cacq':>12} {'parallel':>12} "
+        f"{'jisc(worst)':>12}"
+    ]
+    for period in PERIODS:
+        d = best[period]
+        lines.append(
+            f"{period:>8d} {d['jisc']:>12.0f} {d['cacq']:>12.0f} "
+            f"{d['parallel_track']:>12.0f} {worst[period]['jisc']:>12.0f}"
+        )
+    emit("fig12_frequency_best", lines)
+    for period in PERIODS:
+        d = best[period]
+        assert d["jisc"] < d["cacq"]
+        assert d["jisc"] < d["parallel_track"]
+        # best-case transitions cost JISC no more than worst-case ones
+        assert d["jisc"] <= worst[period]["jisc"] * 1.05

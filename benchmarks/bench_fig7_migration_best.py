@@ -1,0 +1,51 @@
+"""Figure 7: performance during the plan-migration stage — best case.
+
+The transition swaps the two top-most streams, leaving exactly one
+incomplete state just below the root (Figure 5).  Following Section 6.1,
+the stage spans from the forced transition until the Parallel Track
+strategy discards its old plan; every strategy is charged for exactly that
+tuple segment.  Reported per join count: running time (a) and the speedup
+of JISC over CACQ and Parallel Track (b).
+"""
+
+from benchmarks.common import emit, once
+from repro.experiments.common import measure_migration_stage
+
+JOIN_COUNTS = (4, 8, 12, 16, 20)
+WINDOW = 80
+
+
+def run():
+    rows = []
+    for n_joins in JOIN_COUNTS:
+        rows.extend(
+            measure_migration_stage(n_joins, window=WINDOW, case="best", seed=7)
+        )
+    return rows
+
+
+def test_fig7_migration_stage_best_case(benchmark):
+    rows = once(benchmark, run)
+    by_joins = {}
+    for r in rows:
+        by_joins.setdefault(r.n_joins, {})[r.strategy] = r.virtual_time
+    lines = [
+        f"{'joins':>6} {'jisc':>12} {'cacq':>12} {'parallel':>12} "
+        f"{'speedup/pt':>11} {'speedup/cacq':>13}"
+    ]
+    for n_joins in JOIN_COUNTS:
+        d = by_joins[n_joins]
+        lines.append(
+            f"{n_joins:>6d} {d['jisc']:>12.0f} {d['cacq']:>12.0f} "
+            f"{d['parallel_track']:>12.0f} "
+            f"{d['parallel_track'] / d['jisc']:>11.2f} "
+            f"{d['cacq'] / d['jisc']:>13.2f}"
+        )
+    emit("fig7_migration_best", lines)
+    # Shape assertions (paper: JISC fastest; gap grows with joins).
+    for d in by_joins.values():
+        assert d["jisc"] < d["cacq"] < d["parallel_track"] * 1.5
+    assert (
+        by_joins[JOIN_COUNTS[-1]]["parallel_track"] / by_joins[JOIN_COUNTS[-1]]["jisc"]
+        > by_joins[JOIN_COUNTS[0]]["parallel_track"] / by_joins[JOIN_COUNTS[0]]["jisc"]
+    )

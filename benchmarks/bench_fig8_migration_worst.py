@@ -1,0 +1,57 @@
+"""Figure 8: performance during the plan-migration stage — worst case.
+
+The transition swaps the second stream with the top one, leaving *every*
+intermediate state incomplete.  Protocol as in Figure 7 (the stage ends
+when Parallel Track discards its old plan).  The paper's observations:
+JISC's speedup shrinks versus the best case (completion overhead), while
+CACQ and Parallel Track are unchanged — they do not distinguish complete
+from incomplete states.
+"""
+
+from benchmarks.common import emit, once
+from repro.experiments.common import measure_migration_stage
+
+JOIN_COUNTS = (4, 8, 12, 16, 20)
+WINDOW = 80
+
+
+def run():
+    rows = {}
+    for case in ("worst", "best"):
+        for n_joins in JOIN_COUNTS:
+            rows[(case, n_joins)] = {
+                r.strategy: r.virtual_time
+                for r in measure_migration_stage(
+                    n_joins, window=WINDOW, case=case, seed=7
+                )
+            }
+    return rows
+
+
+def test_fig8_migration_stage_worst_case(benchmark):
+    rows = once(benchmark, run)
+    lines = [
+        f"{'joins':>6} {'jisc':>12} {'cacq':>12} {'parallel':>12} "
+        f"{'speedup/pt':>11} {'best-case speedup':>18}"
+    ]
+    for n_joins in JOIN_COUNTS:
+        worst = rows[("worst", n_joins)]
+        best = rows[("best", n_joins)]
+        lines.append(
+            f"{n_joins:>6d} {worst['jisc']:>12.0f} {worst['cacq']:>12.0f} "
+            f"{worst['parallel_track']:>12.0f} "
+            f"{worst['parallel_track'] / worst['jisc']:>11.2f} "
+            f"{best['parallel_track'] / best['jisc']:>18.2f}"
+        )
+    emit("fig8_migration_worst", lines)
+    # Shape assertions: JISC still wins, by less than in the best case
+    # (aggregated across join counts, as in the paper's figures).
+    worst_speedups = []
+    best_speedups = []
+    for n_joins in JOIN_COUNTS:
+        worst, best = rows[("worst", n_joins)], rows[("best", n_joins)]
+        assert worst["jisc"] < worst["parallel_track"]
+        assert worst["jisc"] < worst["cacq"] * 1.1
+        worst_speedups.append(worst["parallel_track"] / worst["jisc"])
+        best_speedups.append(best["parallel_track"] / best["jisc"])
+    assert sum(best_speedups) > sum(worst_speedups)

@@ -1,0 +1,35 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one figure of the paper's evaluation
+(Section 6).  Wall-clock timing comes from pytest-benchmark (run with
+``--benchmark-only``); the *series the paper plots* — virtual-time numbers
+from the deterministic cost model — are printed and also written to
+``benchmarks/out/<name>.txt`` so they survive output capturing.
+
+Scale note: the paper uses windows of 10 000 tuples and 10-20 M tuple
+streams on a Java engine; the benchmarks here run the same generators and
+protocols at windows of 50-120 and 10^4-10^5 tuples (see EXPERIMENTS.md
+for the mapping).  All comparisons are relative, at identical scale across
+strategies.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def emit(name: str, lines: Iterable[str]) -> None:
+    """Print a series table and persist it under benchmarks/out/."""
+    text = "\n".join(lines)
+    print(f"\n==== {name} ====\n{text}")
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
+        fh.write(text + "\n")
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Sensor-network monitoring with an adaptive optimizer in the loop.
+
+The paper's motivating setting (Section 1): long-running continuous queries
+over sensor streams whose rates and value distributions drift, so the
+initially chosen join order becomes suboptimal mid-flight.
+
+This example correlates four sensor feeds of a building — badge readers,
+motion detectors, HVAC controllers and door actuators — on a shared zone
+id.  The workload *drifts*: at first the motion stream rarely matches
+(most selective, so it belongs at the bottom of the plan); later the badge
+stream becomes the selective one.  A :class:`SelectivityOptimizer` watches
+the observed match rates and requests plan transitions; JISC carries them
+out without halting the output.
+
+Run:  python examples/sensor_network_monitoring.py
+"""
+
+import random
+
+from repro import JISCStrategy, Schema, SelectivityOptimizer, StaticPlanExecutor
+from repro.streams.tuples import StreamTuple
+
+STREAMS = ("badge", "motion", "hvac", "door")
+ZONES = 120
+
+
+def drifting_workload(n_tuples: int, seed: int = 0):
+    """Two phases: 'motion' keys are scattered first, 'badge' keys later.
+
+    Scattering a stream's keys over a larger domain makes probes against it
+    miss more often — i.e. makes its join more selective.
+    """
+    rng = random.Random(seed)
+    tuples = []
+    for seq in range(n_tuples):
+        stream = STREAMS[seq % len(STREAMS)]
+        drifted = "motion" if seq < n_tuples // 2 else "badge"
+        if stream == drifted:
+            zone = rng.randrange(ZONES * 8)  # mostly unmatched zone ids
+        else:
+            zone = rng.randrange(ZONES)
+        tuples.append(StreamTuple(stream, seq, zone))
+    return tuples
+
+
+def main() -> None:
+    schema = Schema.uniform(STREAMS, window=150)
+    initial = ("hvac", "motion", "door", "badge")
+    jisc = JISCStrategy(schema, initial)
+    reference = StaticPlanExecutor(schema, initial)
+    optimizer = SelectivityOptimizer(tolerance=0.15, min_probes=400)
+
+    tuples = drifting_workload(12_000, seed=42)
+    current = initial
+    transitions = []
+
+    probes_before = {}
+    for i, tup in enumerate(tuples):
+        jisc.process(tup)
+        reference.process(tup)
+        # Feed the optimizer: per-stream probe/match statistics from the
+        # scan states (how often a probe against this stream's window hits).
+        if i % 500 == 499:
+            for name in STREAMS:
+                scan_state = jisc.plan.scans[name].state
+                # estimated hit rate: fraction of the key domain present
+                probes = 1000
+                matches = int(probes * min(1.0, scan_state.distinct_count() / ZONES))
+                optimizer.observe(name, probes, matches)
+            proposal = optimizer.propose(current)
+            if proposal is not None:
+                transitions.append((i + 1, current, proposal))
+                print(f"[tuple {i + 1:6d}] optimizer: {current} -> {proposal}")
+                jisc.transition(proposal)
+                current = proposal
+
+    same = sorted(jisc.output_lineages()) == sorted(reference.output_lineages())
+    print(f"\ntransitions performed: {len(transitions)}")
+    print(f"matches emitted: {len(jisc.outputs)} (reference {len(reference.outputs)}, "
+          f"identical={same})")
+    print(f"incomplete states at end: {jisc.incomplete_state_count()}")
+    if not same:
+        raise SystemExit("outputs diverged — this is a bug")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Section 5 probabilistic analysis of JISC.
+
+Exact closed forms for the number of complete states after a random
+pairwise join exchange (Proposition 1), their asymptotics (Proposition 2),
+the Chebyshev concentration bound behind Proposition 3, and a Monte-Carlo
+sampler over the paper's triangular exchange distribution to verify them.
+"""
+
+from repro.analysis.concentration import (
+    harmonic,
+    alpha_n,
+    exchange_pmf,
+    expected_complete_states,
+    variance_complete_states,
+    expected_complete_asymptotic,
+    variance_complete_asymptotic,
+    chebyshev_bound,
+    sample_exchange_distance,
+    sample_complete_states,
+    monte_carlo_summary,
+)
+
+__all__ = [
+    "harmonic",
+    "alpha_n",
+    "exchange_pmf",
+    "expected_complete_states",
+    "variance_complete_states",
+    "expected_complete_asymptotic",
+    "variance_complete_asymptotic",
+    "chebyshev_bound",
+    "sample_exchange_distance",
+    "sample_complete_states",
+    "monte_carlo_summary",
+]

@@ -1,0 +1,128 @@
+"""Propositions 1-3 of Section 5.2.
+
+Model: a left-deep plan with ``n`` joins; two join positions ``I < J`` are
+exchanged, drawn from the triangular distribution
+
+    Prob(I = i, J = j) = alpha_n / (j - i),           (Eq. 1)
+    alpha_n = 1 / (n * H_n - n),                      (Eq. 2)
+
+where ``H_n`` is the n-th harmonic number.  The number of incomplete
+states after the transition is ``J - I``, so the number of complete
+states is ``C_n = n - (J - I)`` (Eq. 3), with
+
+    E[C_n]   = (2 n H_n - 3 n + 1) / (2 H_n - 2),               (Prop. 1)
+    Var[C_n] = (2 n^2 H_n - 5 n^2 + 6 n - 2 H_n - 1)
+               / (12 (H_n - 1)^2),                              (Prop. 1)
+
+asymptotically ``E[C_n] = n - n / (2 ln n) + O(1/ln n)`` and
+``Var[C_n] = n^2 / (6 ln n) + O(n^2 / ln^2 n)`` (Prop. 2), whence
+``C_n / n -> 1`` in probability (Prop. 3) by Chebyshev's inequality.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, List, Tuple
+
+
+def harmonic(n: int) -> float:
+    """The n-th harmonic number ``H_n = sum_{r=1..n} 1/r``."""
+    if n < 1:
+        raise ValueError("harmonic numbers are defined for n >= 1")
+    return sum(1.0 / r for r in range(1, n + 1))
+
+
+def alpha_n(n: int) -> float:
+    """Normalization factor of the triangular exchange distribution (Eq. 2)."""
+    if n < 2:
+        raise ValueError("need at least two join positions")
+    return 1.0 / (n * harmonic(n) - n)
+
+
+def exchange_pmf(n: int) -> Dict[Tuple[int, int], float]:
+    """Full probability mass function over position pairs (i, j), i < j."""
+    a = alpha_n(n)
+    return {
+        (i, j): a / (j - i)
+        for i in range(1, n)
+        for j in range(i + 1, n + 1)
+    }
+
+
+def expected_complete_states(n: int) -> float:
+    """Exact E[C_n] (Proposition 1)."""
+    h = harmonic(n)
+    return (2 * n * h - 3 * n + 1) / (2 * h - 2)
+
+
+def variance_complete_states(n: int) -> float:
+    """Exact Var[C_n] (Proposition 1)."""
+    h = harmonic(n)
+    return (2 * n * n * h - 5 * n * n + 6 * n - 2 * h - 1) / (12 * (h - 1) ** 2)
+
+
+def expected_complete_asymptotic(n: int) -> float:
+    """Leading-order approximation ``n - n / (2 ln n)`` (Proposition 2)."""
+    if n < 2:
+        raise ValueError("asymptotics need n >= 2")
+    return n - n / (2 * math.log(n))
+
+
+def variance_complete_asymptotic(n: int) -> float:
+    """Leading-order approximation ``n^2 / (6 ln n)`` (Proposition 2)."""
+    if n < 2:
+        raise ValueError("asymptotics need n >= 2")
+    return n * n / (6 * math.log(n))
+
+
+def chebyshev_bound(n: int, epsilon: float) -> float:
+    """Chebyshev bound on ``Prob(|C_n / E[C_n] - 1| > epsilon)`` (Prop. 3).
+
+    The paper's concentration argument: the bound is
+    ``Var[C_n] / (epsilon * E[C_n])^2``, which is O(1/ln n) -> 0.
+    """
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    mean = expected_complete_states(n)
+    var = variance_complete_states(n)
+    return min(1.0, var / (epsilon * mean) ** 2)
+
+
+def sample_exchange_distance(n: int, rng: random.Random) -> int:
+    """Draw the exchange distance ``d = J - I`` from the triangular law.
+
+    There are ``n - d`` position pairs at distance ``d``, each with weight
+    ``1/d``, so ``Prob(d) ∝ (n - d) / d``.
+    """
+    weights = [(n - d) / d for d in range(1, n)]
+    total = sum(weights)
+    u = rng.random() * total
+    acc = 0.0
+    for d, w in zip(range(1, n), weights):
+        acc += w
+        if u <= acc:
+            return d
+    return n - 1
+
+
+def sample_complete_states(n: int, trials: int, seed: int = 0) -> List[int]:
+    """Monte-Carlo samples of ``C_n = n - (J - I)``."""
+    rng = random.Random(seed)
+    return [n - sample_exchange_distance(n, rng) for _ in range(trials)]
+
+
+def monte_carlo_summary(n: int, trials: int, seed: int = 0) -> Dict[str, float]:
+    """Empirical mean/variance of C_n next to the exact Proposition-1 values."""
+    samples = sample_complete_states(n, trials, seed)
+    mean = sum(samples) / trials
+    var = sum((s - mean) ** 2 for s in samples) / (trials - 1) if trials > 1 else 0.0
+    return {
+        "n": float(n),
+        "trials": float(trials),
+        "empirical_mean": mean,
+        "exact_mean": expected_complete_states(n),
+        "empirical_variance": var,
+        "exact_variance": variance_complete_states(n),
+        "mean_ratio": mean / n,
+    }

@@ -1,0 +1,27 @@
+"""JISC — Just-In-Time State Completion (the paper's contribution).
+
+The package implements Section 4 of the paper:
+
+* :mod:`repro.core.freshness` — Definition 2 (fresh vs. attempted tuples);
+* :mod:`repro.core.completion` — Procedures 2 and 3 (recursive state
+  completion for bushy trees, iterative walk for left-deep trees);
+* :mod:`repro.core.controller` — the runtime bookkeeping: completeness
+  status per state (Definition 1), completion-detection counters
+  (Section 4.3, Cases 1-3), settle/retire/notify cascades, and the
+  completion hook plugged into join operators (Procedure 1);
+* :mod:`repro.core.transition` — plan-transition orchestration: safe
+  transition with buffer clearing (Section 4.1), state adoption/discard,
+  overlapped transitions (Section 4.5).
+"""
+
+from repro.core.freshness import FreshnessRegistry
+from repro.core.controller import JISCController, JISCStateInfo
+from repro.core.completion import complete_value_recursive, complete_value_left_deep
+
+__all__ = [
+    "FreshnessRegistry",
+    "JISCController",
+    "JISCStateInfo",
+    "complete_value_recursive",
+    "complete_value_left_deep",
+]

@@ -1,0 +1,26 @@
+"""Eddy-based execution (Section 3.1, 3.2, 4.6).
+
+* :class:`SteM` — a state module: one stream's window hashed on the join
+  attribute (CACQ's only state).
+* :class:`CACQExecutor` — eddy routing over SteMs with **no** intermediate
+  results: zero-cost plan transitions, but every input tuple re-derives all
+  intermediate join results and every partial result passes through the
+  eddy again (the 2x normal-operation slowdown of Figure 9(b)).
+* :class:`STAIRSExecutor` — STAIRs: intermediate states inside the eddy
+  framework with eager promote/demote at transition time — operationally
+  the Moving State Strategy in an eddy (Section 4.6).
+* :class:`JISCStairsExecutor` — JISC applied to STAIRs: promotes (completes)
+  state entries on demand instead of eagerly.
+"""
+
+from repro.eddy.stem import SteM
+from repro.eddy.cacq import CACQExecutor
+from repro.eddy.stairs import STAIRSExecutor, JISCStairsExecutor, EddyMetrics
+
+__all__ = [
+    "SteM",
+    "CACQExecutor",
+    "STAIRSExecutor",
+    "JISCStairsExecutor",
+    "EddyMetrics",
+]

@@ -1,0 +1,109 @@
+"""Eddy routing policies (after Avnur & Hellerstein's lottery scheduling).
+
+The CACQ executor routes each tuple through the SteMs of the remaining
+streams; *which* SteM to visit next is the eddy's routing decision.  The
+paper's experiments fix the order to the current plan's join order (the
+:class:`FixedOrderRouting` default); a real eddy adapts it continuously.
+:class:`LotteryRouting` implements the classic scheme: every SteM holds
+tickets, probing a SteM costs a ticket, and a probe that *consumes* the
+tuple (no match — the tuple dies) wins tickets back, so selective SteMs
+are favoured early, killing doomed tuples cheaply.
+
+Routing affects only the amount of work, never the result set (the full
+cross-product semantics are order-independent), which the tests assert.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Sequence, Tuple
+
+
+class RoutingPolicy:
+    """Chooses the probe order for a tuple entering the eddy."""
+
+    def order_for(self, source_stream: str, candidates: Sequence[str]) -> Tuple[str, ...]:
+        """Probe order over ``candidates`` for a tuple from ``source_stream``."""
+        raise NotImplementedError
+
+    def observe(self, stream: str, matched: bool) -> None:
+        """Feedback after probing ``stream``'s SteM."""
+
+    def on_transition(self, new_order: Sequence[str]) -> None:
+        """The optimizer installed a new plan/order."""
+
+
+class FixedOrderRouting(RoutingPolicy):
+    """Probe in the current plan's bottom-up join order (the paper's setup)."""
+
+    def __init__(self, order: Sequence[str]):
+        self.order = tuple(order)
+
+    def order_for(self, source_stream: str, candidates: Sequence[str]) -> Tuple[str, ...]:
+        member = set(candidates)
+        return tuple(name for name in self.order if name in member)
+
+    def on_transition(self, new_order: Sequence[str]) -> None:
+        self.order = tuple(new_order)
+
+
+class LotteryRouting(RoutingPolicy):
+    """Adaptive lottery scheduling over SteMs.
+
+    Each stream holds tickets (≥ 1).  The probe order is drawn by repeated
+    ticket lotteries without replacement; a probe that kills its tuple (no
+    match) earns the stream a ticket, a probe that lets it through loses
+    one — so consistently selective SteMs drift to the front.  Ticket
+    counts are clamped to ``[1, max_tickets]`` and decayed periodically so
+    the policy keeps adapting when selectivities drift.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[str],
+        seed: int = 0,
+        max_tickets: int = 1_000,
+        decay_every: int = 5_000,
+    ):
+        if max_tickets < 1:
+            raise ValueError("max_tickets must be at least 1")
+        if decay_every < 1:
+            raise ValueError("decay_every must be at least 1")
+        self.tickets: Dict[str, float] = {name: 1.0 for name in streams}
+        self.max_tickets = float(max_tickets)
+        self.decay_every = decay_every
+        self._rng = random.Random(seed)
+        self._observations = 0
+
+    def order_for(self, source_stream: str, candidates: Sequence[str]) -> Tuple[str, ...]:
+        pool: List[str] = [name for name in candidates]
+        order: List[str] = []
+        while pool:
+            total = sum(self.tickets[name] for name in pool)
+            pick = self._rng.random() * total
+            acc = 0.0
+            chosen = pool[-1]
+            for name in pool:
+                acc += self.tickets[name]
+                if pick <= acc:
+                    chosen = name
+                    break
+            order.append(chosen)
+            pool.remove(chosen)
+        return tuple(order)
+
+    def observe(self, stream: str, matched: bool) -> None:
+        if matched:
+            self.tickets[stream] = max(1.0, self.tickets[stream] - 1.0)
+        else:
+            self.tickets[stream] = min(self.max_tickets, self.tickets[stream] + 1.0)
+        self._observations += 1
+        if self._observations % self.decay_every == 0:
+            for name in self.tickets:
+                self.tickets[name] = max(1.0, self.tickets[name] / 2.0)
+
+    def on_transition(self, new_order: Sequence[str]) -> None:
+        # An eddy does not need the optimizer's order, but a transition is
+        # a signal that conditions changed: soften the accumulated bias.
+        for name in self.tickets:
+            self.tickets[name] = max(1.0, self.tickets[name] / 2.0)

@@ -1,0 +1,107 @@
+"""STAIRs and JISC-on-STAIRs (Sections 3.2 and 4.6).
+
+The paper observes that STAIRs "is actually the same as the Moving State
+Strategy when applied to eddies": state lives in STAIR modules instead of
+join operators, every tuple hop goes through the eddy, and a routing change
+eagerly migrates state via Promote/Demote operations on all entries.
+JISC-on-STAIRs amortizes those operations by promoting on demand.
+
+Following that observation, the executors here are the pipelined
+Moving-State / JISC strategies run under :class:`EddyMetrics` — a metrics
+bag that charges one eddy visit for every inter-operator tuple hop — plus
+explicit Promote/Demote accounting at transition time (eager mode) or
+during completion (lazy mode).  Outputs are bit-for-bit those of the
+underlying strategies, and the cost profile matches the eddy framework's.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.engine.cost import CostModel, VirtualClock
+from repro.engine.metrics import Counter, Metrics
+from repro.migration.base import as_spec
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.plans.spec import internal_nodes, membership
+from repro.streams.schema import Schema
+
+
+class EddyMetrics(Metrics):
+    """Metrics with the eddy's per-hop routing overhead.
+
+    Every tuple handed from one operator to the next (TUPLE_EMIT) also
+    passes through the eddy (EDDY_VISIT) — the structural overhead of
+    eddy-based frameworks measured in Figure 9(b).
+    """
+
+    def count(self, op: str) -> None:
+        super().count(op)
+        if op == Counter.TUPLE_EMIT:
+            super().count(Counter.EDDY_VISIT)
+
+    def count_n(self, op: str, n: int) -> None:
+        super().count_n(op, n)
+        if op == Counter.TUPLE_EMIT:
+            super().count_n(Counter.EDDY_VISIT, n)
+
+
+def _eddy_metrics(cost_model: Optional[CostModel]) -> EddyMetrics:
+    return EddyMetrics(clock=VirtualClock(cost_model))
+
+
+class STAIRSExecutor(MovingStateStrategy):
+    """STAIRs: eager Promote/Demote migration inside an eddy."""
+
+    name = "stairs"
+
+    def __init__(
+        self,
+        schema: Schema,
+        initial_spec,
+        metrics: Optional[Metrics] = None,
+        join: str = "hash",
+        cost_model: Optional[CostModel] = None,
+    ):
+        super().__init__(
+            schema, initial_spec, metrics or _eddy_metrics(cost_model), join, cost_model
+        )
+
+    def transition(self, new_spec) -> None:
+        old_plan = self.plan
+        new_members = {membership(node) for node in internal_nodes(as_spec(new_spec))}
+        # Demote: every entry of a state that does not survive the routing
+        # change is pushed back down (discarded).
+        for op in old_plan.internal:
+            if op.membership not in new_members:
+                self.metrics.count_n(Counter.DEMOTE, len(op.state))
+        before = self.metrics.get(Counter.HASH_INSERT)
+        super().transition(new_spec)
+        # Promote: every entry materialized while eagerly rebuilding the
+        # missing states was promoted up the STAIR hierarchy.
+        promoted = self.metrics.get(Counter.HASH_INSERT) - before
+        self.metrics.count_n(Counter.PROMOTE, promoted)
+
+
+class JISCStairsExecutor(JISCStrategy):
+    """JISC applied to STAIRs: on-demand promotion (Section 4.6)."""
+
+    name = "jisc_stairs"
+
+    def __init__(
+        self,
+        schema: Schema,
+        initial_spec,
+        metrics: Optional[Metrics] = None,
+        join: str = "hash",
+        cost_model: Optional[CostModel] = None,
+        force_recursive: bool = False,
+    ):
+        super().__init__(
+            schema,
+            initial_spec,
+            metrics or _eddy_metrics(cost_model),
+            join,
+            cost_model,
+            force_recursive,
+        )

@@ -1,0 +1,57 @@
+"""SteMs — State Modules (Section 3.1, after [18]).
+
+A SteM holds exactly one stream's sliding window, hashed on the join
+attribute.  CACQ splits every binary join into SteM probes, storing **no**
+intermediate results; a join tree over n+1 streams becomes n+1 SteMs.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.engine.metrics import Counter, Metrics
+from repro.operators.state import HashState
+from repro.streams.tuples import StreamTuple
+from repro.streams.window import SlidingWindow, TimeSlidingWindow
+
+
+class SteM:
+    """One stream's windowed hash state."""
+
+    def __init__(
+        self, stream: str, window: int, metrics: Metrics, window_kind: str = "count"
+    ):
+        self.stream = stream
+        if window_kind == "count":
+            self.window = SlidingWindow(window)
+        elif window_kind == "time":
+            self.window = TimeSlidingWindow(window)
+        else:
+            raise ValueError(f"unknown window kind {window_kind!r}")
+        self.state = HashState(complete=True)
+        self.metrics = metrics
+
+    def insert(self, tup: StreamTuple) -> List[StreamTuple]:
+        """Add an arriving tuple; returns the evicted tuples, if any.
+
+        Eviction is local: CACQ keeps no intermediate state, so nothing has
+        to be traced through a pipeline — the cheap-expiry flip side of
+        recomputing every intermediate result per tuple.
+        """
+        if tup.stream != self.stream:
+            raise ValueError(f"tuple from {tup.stream!r} fed to SteM of {self.stream!r}")
+        evicted = self.window.push_all(tup)
+        for old in evicted:
+            self.state.remove_entry(old)
+            self.metrics.count(Counter.STATE_REMOVE)
+        self.state.add(tup)
+        self.metrics.count(Counter.HASH_INSERT)
+        return evicted
+
+    def probe(self, key) -> List[StreamTuple]:
+        """All window tuples with join value ``key``."""
+        self.metrics.count(Counter.HASH_PROBE)
+        return self.state.get(key)
+
+    def __len__(self) -> int:
+        return len(self.window)

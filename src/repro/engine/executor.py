@@ -1,0 +1,86 @@
+"""Event-driven execution of a strategy over a workload.
+
+A workload is a sequence of *events*: arriving :class:`StreamTuple`\\ s
+interleaved with :class:`TransitionEvent`\\ s (forced plan transitions, as
+in every experiment of Section 6).  ``run_events`` drives any migration
+strategy through such a sequence.
+
+``StrategyExecutor`` is the minimal interface every strategy implements;
+strategies live in :mod:`repro.migration` and :mod:`repro.eddy`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Protocol, Sequence, Union
+
+from repro.plans.spec import PlanSpec
+from repro.streams.tuples import StreamTuple
+
+
+class TransitionEvent:
+    """A forced plan transition to ``new_spec`` (or a left-deep order)."""
+
+    __slots__ = ("new_spec",)
+
+    def __init__(self, new_spec: PlanSpec):
+        self.new_spec = new_spec
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TransitionEvent({self.new_spec!r})"
+
+
+Event = Union[StreamTuple, TransitionEvent]
+
+
+class StrategyExecutor(Protocol):
+    """What every migration strategy / execution framework exposes."""
+
+    name: str
+
+    def process(self, tup: StreamTuple) -> None:
+        """Process one arriving tuple through the current plan(s)."""
+        ...
+
+    def transition(self, new_spec: PlanSpec) -> None:
+        """Switch to ``new_spec`` using the strategy's migration policy."""
+        ...
+
+    @property
+    def outputs(self) -> List[Any]:
+        """Append-only log of emitted results."""
+        ...
+
+
+def run_events(strategy: StrategyExecutor, events: Iterable[Event]) -> StrategyExecutor:
+    """Drive ``strategy`` through ``events``; returns the strategy."""
+    for event in events:
+        if isinstance(event, TransitionEvent):
+            strategy.transition(event.new_spec)
+        else:
+            strategy.process(event)
+    return strategy
+
+
+def interleave_transitions(
+    tuples: Sequence[StreamTuple],
+    transitions: Sequence[tuple],
+) -> List[Event]:
+    """Insert transitions into a tuple sequence.
+
+    ``transitions`` is a list of ``(position, spec)`` pairs: the transition
+    fires just before the tuple at index ``position``.  Positions may repeat
+    (overlapped transitions) and may equal ``len(tuples)`` (fire at the end).
+    """
+    by_pos: dict = {}
+    for pos, spec in transitions:
+        if not 0 <= pos <= len(tuples):
+            raise ValueError(f"transition position {pos} out of range")
+        by_pos.setdefault(pos, []).append(spec)
+    events: List[Event] = []
+    for i, tup in enumerate(tuples):
+        for spec in by_pos.get(i, ()):
+            events.append(TransitionEvent(spec))
+        events.append(tup)
+    for spec in by_pos.get(len(tuples), ()):
+        events.append(TransitionEvent(spec))
+    return events

@@ -1,0 +1,115 @@
+"""Operation counters.
+
+Every strategy executes against a :class:`Metrics` instance.  Operators call
+``metrics.count(op)`` (or ``count_n``) for each primitive operation; the
+attached :class:`~repro.engine.cost.VirtualClock`, if any, advances by the
+operation's cost.  Counters are the machine-independent performance measure
+used by all benchmarks (see DESIGN.md, substitution table).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+class Counter:
+    """Names of the primitive operations the engine counts."""
+
+    HASH_PROBE = "hash_probe"          # one hash-bucket lookup in a state
+    HASH_INSERT = "hash_insert"        # one entry insertion into a state
+    STATE_REMOVE = "state_remove"      # one entry removal (window expiry)
+    NL_COMPARE = "nl_compare"          # one nested-loops predicate evaluation
+    TUPLE_EMIT = "tuple_emit"          # one tuple handed to a parent operator
+    OUTPUT = "output"                  # one tuple emitted at the query root
+    EDDY_VISIT = "eddy_visit"          # one tuple (re)entering the eddy router
+    DEDUP_CHECK = "dedup_check"        # one duplicate-elimination lookup
+    STATE_COPY = "state_copy"          # one entry copied between plans
+    COMPLETION_PROBE = "completion_probe"  # one probe during JISC completion
+    PURGE_CHECK = "purge_check"        # one old-entry check (Parallel Track)
+    QUEUE_OP = "queue_op"              # one enqueue/dequeue at an input queue
+    PROMOTE = "promote"                # one STAIR promote operation
+    DEMOTE = "demote"                  # one STAIR demote operation
+
+    ALL = (
+        HASH_PROBE,
+        HASH_INSERT,
+        STATE_REMOVE,
+        NL_COMPARE,
+        TUPLE_EMIT,
+        OUTPUT,
+        EDDY_VISIT,
+        DEDUP_CHECK,
+        STATE_COPY,
+        COMPLETION_PROBE,
+        PURGE_CHECK,
+        QUEUE_OP,
+        PROMOTE,
+        DEMOTE,
+    )
+
+
+class Metrics:
+    """Mutable bag of operation counters with an optional virtual clock.
+
+    ``clock`` (a :class:`~repro.engine.cost.VirtualClock`) is advanced on
+    every counted operation; pass ``None`` to count without timing.
+    """
+
+    __slots__ = ("counts", "clock")
+
+    def __init__(self, clock=None):
+        self.counts: Dict[str, int] = {}
+        self.clock = clock
+
+    def count(self, op: str) -> None:
+        """Record one occurrence of ``op``."""
+        self.counts[op] = self.counts.get(op, 0) + 1
+        if self.clock is not None:
+            self.clock.tick(op, 1)
+
+    def count_n(self, op: str, n: int) -> None:
+        """Record ``n`` occurrences of ``op`` at once."""
+        if n <= 0:
+            return
+        self.counts[op] = self.counts.get(op, 0) + n
+        if self.clock is not None:
+            self.clock.tick(op, n)
+
+    def get(self, op: str) -> int:
+        return self.counts.get(op, 0)
+
+    def total(self) -> int:
+        """Total operations of all kinds."""
+        return sum(self.counts.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """Copy of the current counters."""
+        return dict(self.counts)
+
+    def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
+        """Counters accumulated since ``earlier`` (a prior ``snapshot()``)."""
+        out = {}
+        for op, v in self.counts.items():
+            delta = v - earlier.get(op, 0)
+            if delta:
+                out[op] = delta
+        return out
+
+    def reset(self) -> None:
+        self.counts.clear()
+        if self.clock is not None:
+            self.clock.reset()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        body = ", ".join(f"{k}={v}" for k, v in sorted(self.counts.items()))
+        return f"Metrics({body})"
+
+
+def work_units(counts: Dict[str, int], cost_model=None) -> float:
+    """Convert a counter snapshot into virtual time units.
+
+    With no cost model, every operation costs 1.
+    """
+    if cost_model is None:
+        return float(sum(counts.values()))
+    return sum(cost_model.cost_of(op) * n for op, n in counts.items())

@@ -1,0 +1,138 @@
+"""Runtime monitoring: state sizes, throughput, and memory pressure.
+
+A :class:`QueryMonitor` samples a running strategy's observable state —
+per-operator state sizes, window fill, output counts, virtual time,
+incomplete-state count — into a history of :class:`Snapshot` rows.  It is
+how an operator of the system answers "is state growing?", "did the
+migration stall output?", or "which join holds the most memory?" without
+touching engine internals.
+
+Works with any pipelined strategy (anything exposing ``plan``); the
+Parallel Track strategy is sampled across all live tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class Snapshot:
+    """One observation of a running query."""
+
+    at_tuple: int
+    virtual_time: float
+    outputs: int
+    state_sizes: Dict[str, int]
+    window_fill: Dict[str, int]
+    incomplete_states: int
+    live_plans: int
+
+    @property
+    def total_entries(self) -> int:
+        return sum(self.state_sizes.values()) + sum(self.window_fill.values())
+
+
+class QueryMonitor:
+    """Samples a strategy's state into a bounded history."""
+
+    def __init__(self, strategy, max_history: int = 10_000):
+        if max_history <= 0:
+            raise ValueError("max_history must be positive")
+        self.strategy = strategy
+        self.max_history = max_history
+        self.history: List[Snapshot] = []
+        self._tuples_seen = 0
+
+    # -- sampling -------------------------------------------------------------------
+
+    def note_tuple(self) -> None:
+        """Tell the monitor one more tuple was processed (for the x-axis)."""
+        self._tuples_seen += 1
+
+    def sample(self) -> Snapshot:
+        """Take a snapshot of the strategy's current state."""
+        plans = self._plans()
+        state_sizes: Dict[str, int] = {}
+        window_fill: Dict[str, int] = {}
+        for plan in plans:
+            for op in plan.internal:
+                label = "".join(sorted(op.membership))
+                state_sizes[label] = state_sizes.get(label, 0) + len(op.state)
+            for name, scan in plan.scans.items():
+                window_fill[name] = window_fill.get(name, 0) + len(scan.window)
+        incomplete = sum(
+            1
+            for plan in plans
+            for op in plan.internal
+            if not op.state.status.complete
+        )
+        clock = self.strategy.metrics.clock
+        snap = Snapshot(
+            at_tuple=self._tuples_seen,
+            virtual_time=clock.now if clock is not None else 0.0,
+            outputs=len(self.strategy.outputs),
+            state_sizes=state_sizes,
+            window_fill=window_fill,
+            incomplete_states=incomplete,
+            live_plans=len(plans),
+        )
+        self.history.append(snap)
+        if len(self.history) > self.max_history:
+            del self.history[: len(self.history) - self.max_history]
+        return snap
+
+    def _plans(self):
+        if hasattr(self.strategy, "tracks"):
+            return [t.plan for t in self.strategy.tracks]
+        return [self.strategy.plan]
+
+    # -- analysis -------------------------------------------------------------------
+
+    def peak_entries(self) -> int:
+        """Largest total state footprint seen so far."""
+        return max((s.total_entries for s in self.history), default=0)
+
+    def largest_state(self) -> Optional[str]:
+        """Label of the biggest operator state in the latest snapshot."""
+        if not self.history:
+            return None
+        latest = self.history[-1]
+        if not latest.state_sizes:
+            return None
+        return max(latest.state_sizes, key=latest.state_sizes.get)
+
+    def throughput(self) -> float:
+        """Outputs per unit of virtual time over the sampled range."""
+        if len(self.history) < 2:
+            return 0.0
+        first, last = self.history[0], self.history[-1]
+        span = last.virtual_time - first.virtual_time
+        if span <= 0:
+            return 0.0
+        return (last.outputs - first.outputs) / span
+
+    def output_stall(self) -> float:
+        """Longest virtual-time gap between snapshots without new output.
+
+        A large stall around a transition is the Moving State signature;
+        JISC keeps this near the inter-output spacing (Section 5.1.1).
+        """
+        worst = 0.0
+        for prev, cur in zip(self.history, self.history[1:]):
+            if cur.outputs == prev.outputs:
+                worst = max(worst, cur.virtual_time - prev.virtual_time)
+        return worst
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "samples": len(self.history),
+            "peak_entries": self.peak_entries(),
+            "largest_state": self.largest_state(),
+            "throughput": self.throughput(),
+            "output_stall": self.output_stall(),
+            "incomplete_states": (
+                self.history[-1].incomplete_states if self.history else 0
+            ),
+        }

@@ -1,0 +1,176 @@
+"""ContinuousQuery: the adaptive end-to-end facade.
+
+Ties together everything a user needs for a long-running continuous join
+query: a migration strategy (JISC by default), per-stream runtime
+statistics harvested from the join operators' probes, and a selectivity
+optimizer that requests plan transitions when the observed match rates
+contradict the current join order — the optimize-at-runtime loop of
+Sections 1 and 5.2 (the *trigger* policy the paper treats as orthogonal,
+provided here so the system is usable end to end).
+
+Example::
+
+    query = ContinuousQuery(Schema.uniform(["R", "S", "T"], 500),
+                            ("R", "S", "T"))
+    for stream, key in feed:
+        for result in query.push(stream, key):
+            handle(result)
+    print(query.transition_log)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cost import CostModel
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.migration.parallel_track import ParallelTrackStrategy
+from repro.operators.joins import JoinOperator
+from repro.operators.scan import StreamScan
+from repro.plans.optimizer import SelectivityOptimizer
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+STRATEGIES = {
+    "jisc": JISCStrategy,
+    "moving_state": MovingStateStrategy,
+    "parallel_track": ParallelTrackStrategy,
+}
+
+
+class ContinuousQuery:
+    """An adaptive continuous multi-way join query.
+
+    Parameters
+    ----------
+    schema:
+        Streams and window sizes.
+    initial_order:
+        Left-deep join order to start from.
+    strategy:
+        ``"jisc"`` (default), ``"moving_state"`` or ``"parallel_track"``.
+    join:
+        ``"hash"`` or ``"nl"``.
+    optimizer:
+        A :class:`SelectivityOptimizer`; a default one is created if
+        omitted.  Pass ``None`` explicitly via ``adaptive=False`` to
+        disable re-optimization entirely.
+    reoptimize_every:
+        How many arrivals between optimizer consultations.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        initial_order: Sequence[str],
+        strategy: str = "jisc",
+        join: str = "hash",
+        optimizer: Optional[SelectivityOptimizer] = None,
+        reoptimize_every: int = 1_000,
+        adaptive: bool = True,
+        cost_model: Optional[CostModel] = None,
+    ):
+        if strategy not in STRATEGIES:
+            raise ValueError(
+                f"unknown strategy {strategy!r}; pick one of {sorted(STRATEGIES)}"
+            )
+        if reoptimize_every <= 0:
+            raise ValueError("reoptimize_every must be positive")
+        self.schema = schema
+        self.order: Tuple[str, ...] = tuple(initial_order)
+        self.strategy = STRATEGIES[strategy](
+            schema, self.order, join=join, cost_model=cost_model
+        )
+        self.adaptive = adaptive
+        self.optimizer = optimizer or SelectivityOptimizer(
+            tolerance=0.1, min_probes=max(100, reoptimize_every // 4)
+        )
+        self.reoptimize_every = reoptimize_every
+        self.transition_log: List[Tuple[int, Tuple[str, ...]]] = []
+        self._next_seq = 0
+        self._tuples_pushed = 0
+        self._emitted_cursor = 0
+        # probe statistics per stream: [probes, matches]
+        self._probe_stats: Dict[str, List[int]] = {
+            name: [0, 0] for name in schema.names
+        }
+        self._wire_observers()
+
+    # -- ingestion ------------------------------------------------------------------
+
+    def push(self, stream: str, key: Any, payload: Any = None) -> List:
+        """Feed one tuple; returns the results it produced (possibly none)."""
+        return self.push_tuple(StreamTuple(stream, self._next_seq, key, payload))
+
+    def push_tuple(self, tup: StreamTuple) -> List:
+        """Feed a pre-built tuple (its seq must be monotonically fresh)."""
+        if tup.seq < self._next_seq:
+            raise ValueError(
+                f"tuple seq {tup.seq} is in the past (next is {self._next_seq})"
+            )
+        self._next_seq = tup.seq + 1
+        self._tuples_pushed += 1
+        self.strategy.process(tup)
+        if self.adaptive and self._tuples_pushed % self.reoptimize_every == 0:
+            self._consult_optimizer()
+        outputs = self.strategy.outputs
+        fresh = outputs[self._emitted_cursor :]
+        self._emitted_cursor = len(outputs)
+        return fresh
+
+    # -- results / introspection ------------------------------------------------------
+
+    @property
+    def results(self) -> List:
+        """All results emitted so far."""
+        return self.strategy.outputs
+
+    @property
+    def metrics(self):
+        return self.strategy.metrics
+
+    def selectivity_of(self, stream: str) -> Optional[float]:
+        probes, matches = self._probe_stats[stream]
+        if probes == 0:
+            return None
+        return matches / probes
+
+    # -- the adaptive loop ---------------------------------------------------------
+
+    def reoptimize_now(self) -> Optional[Tuple[str, ...]]:
+        """Force an optimizer consultation; returns the new order if any."""
+        return self._consult_optimizer()
+
+    def _consult_optimizer(self) -> Optional[Tuple[str, ...]]:
+        for name, (probes, matches) in self._probe_stats.items():
+            if probes:
+                self.optimizer.observe(name, probes, matches)
+                self._probe_stats[name] = [0, 0]
+        proposal = self.optimizer.propose(self.order)
+        if proposal is None:
+            return None
+        self.strategy.transition(proposal)
+        self.order = proposal
+        self.transition_log.append((self._next_seq, proposal))
+        self._wire_observers()
+        return proposal
+
+    def _wire_observers(self) -> None:
+        """Attach probe-statistics taps to the current plan's joins."""
+        if hasattr(self.strategy, "tracks"):  # parallel track: all live plans
+            plans = [t.plan for t in self.strategy.tracks]
+        else:
+            plans = [self.strategy.plan]
+        for p in plans:
+            for op in p.internal:
+                if isinstance(op, JoinOperator):
+                    op.probe_observer = self._observe_probe
+
+    def _observe_probe(self, probed, matched: bool) -> None:
+        # Only scan probes carry a clean per-stream signal.
+        if isinstance(probed, StreamScan):
+            stats = self._probe_stats[probed.stream]
+            stats[0] += 1
+            if matched:
+                stats[1] += 1

@@ -1,0 +1,149 @@
+"""Explicit input queues and the safe-transition buffer-clearing phase.
+
+Section 2.1 assumes push-based operators with an input queue each;
+Section 4.1 builds the *safe plan transition* on top of that: a transition
+may only discard old states after every queued tuple has been processed
+through the old plan ("buffer-clearing phase"), otherwise queued tuples
+lose the states they need and correctness breaks.
+
+The default executors push synchronously (queues are trivially empty
+between arrivals), which is observationally equivalent.  This module makes
+the queues explicit so that the safe-transition requirement can be
+demonstrated and tested.  Only *data* tuples are queued: window-expiry
+removals always propagate synchronously (see
+``operators.base.Operator.emit_removal`` — a queued removal can lose the
+race against a probe from another subtree and let an arrival join with
+expired state; fuzzing found exactly that).
+
+* :class:`QueueScheduler` — one global FIFO of pending operator work,
+  preserving arrival order (each hop counts a QUEUE_OP);
+* :class:`BufferedJISCStrategy` / :class:`BufferedStaticExecutor` — variants
+  of the pipelined strategies whose operators enqueue instead of pushing;
+  ``process`` drains the queue after each arrival unless ``auto_drain`` is
+  off, and ``transition`` always drains first — exactly the paper's
+  buffer-clearing phase.  Turning ``auto_drain`` off and skipping the drain
+  before a transition reproduces the corruption scenario of Section 4.1
+  (see tests/test_queued.py).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional, Tuple
+
+from repro.engine.metrics import Counter, Metrics
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.streams.tuples import StreamTuple
+
+
+class QueueScheduler:
+    """Global FIFO of pending pipeline work.
+
+    One queue (rather than one deque per operator) keeps the arrival order
+    of inter-operator messages intact, which models per-operator FIFO
+    queues drained fairly.
+    """
+
+    def __init__(self, metrics: Metrics):
+        self.metrics = metrics
+        self._queue: Deque[Tuple] = deque()
+
+    def enqueue_process(self, target, tup, child) -> None:
+        self.metrics.count(Counter.QUEUE_OP)
+        self._queue.append(("process", target, tup, child))
+
+    def enqueue_removal(self, target, part, child, fresh: bool) -> None:
+        # Unused by the operators (removals are synchronous, see the module
+        # docstring); kept so custom sources can still schedule retractions.
+        self.metrics.count(Counter.QUEUE_OP)
+        self._queue.append(("remove", target, part, child, fresh))
+
+    def drain(self) -> int:
+        """Process queued work until empty; returns the number of items."""
+        n = 0
+        while self._queue:
+            item = self._queue.popleft()
+            self.metrics.count(Counter.QUEUE_OP)
+            if item[0] == "process":
+                _, target, tup, child = item
+                target.process(tup, child)
+            else:
+                _, target, part, child, fresh = item
+                target.remove(part, child, fresh)
+            n += 1
+        return n
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def discard_all(self) -> int:
+        """Drop queued work unprocessed (the *unsafe* path of Section 4.1)."""
+        n = len(self._queue)
+        self._queue.clear()
+        return n
+
+
+class _BufferedMixin:
+    """Shared queue wiring for buffered strategy variants."""
+
+    auto_drain: bool
+    scheduler: QueueScheduler
+
+    def _wire_queues(self) -> None:
+        for op in self.plan.operators():
+            op.scheduler = self.scheduler
+
+    def process(self, tup: StreamTuple) -> None:  # type: ignore[override]
+        super().process(tup)
+        if self.auto_drain:
+            self.scheduler.drain()
+
+    def drain(self) -> int:
+        """Explicit buffer-clearing phase (Section 4.1)."""
+        return self.scheduler.drain()
+
+    def transition(self, new_spec, unsafe_skip_drain: bool = False) -> None:  # type: ignore[override]
+        if unsafe_skip_drain:
+            # Deliberately violate Section 4.1: queued tuples lose the
+            # states of the plan they were meant for.  Only for tests.
+            self.scheduler.discard_all()
+        else:
+            self.drain()
+        super().transition(new_spec)
+        self._wire_queues()
+
+
+class BufferedStaticExecutor(_BufferedMixin, StaticPlanExecutor):
+    """Static plan with explicit operator queues."""
+
+    name = "static_buffered"
+
+    def __init__(self, schema, initial_spec, metrics: Optional[Metrics] = None, join: str = "hash", auto_drain: bool = True):
+        super().__init__(schema, initial_spec, metrics, join)
+        self.scheduler = QueueScheduler(self.metrics)
+        self.auto_drain = auto_drain
+        self._wire_queues()
+
+
+class BufferedJISCStrategy(_BufferedMixin, JISCStrategy):
+    """JISC with explicit operator queues and the buffer-clearing phase."""
+
+    name = "jisc_buffered"
+
+    def __init__(self, schema, initial_spec, metrics: Optional[Metrics] = None, join: str = "hash", auto_drain: bool = True):
+        super().__init__(schema, initial_spec, metrics, join)
+        self.scheduler = QueueScheduler(self.metrics)
+        self.auto_drain = auto_drain
+        self._wire_queues()
+
+    def drain(self) -> int:
+        """Drain with conservative freshness.
+
+        A manually drained backlog can interleave cascades of several
+        arrivals, which cannot share the single fresh/attempted flag of the
+        driving-tuple model; treating them all as fresh only triggers
+        (idempotent) extra completion checks and is always sound.
+        """
+        self.controller.current_fresh = True
+        return self.scheduler.drain()

@@ -1,0 +1,25 @@
+"""Experiment harnesses reproducing every figure of Section 6.
+
+Each module reproduces one figure with the paper's own methodology; the
+benchmarks under ``benchmarks/`` are thin wrappers that time these
+harnesses with pytest-benchmark and print the series the paper plots.
+EXPERIMENTS.md records paper-vs-measured for each.
+"""
+
+from repro.experiments.common import (
+    StageResult,
+    measure_migration_stage,
+    measure_normal_operation,
+    measure_latency,
+    measure_frequency_sweep,
+    format_rows,
+)
+
+__all__ = [
+    "StageResult",
+    "measure_migration_stage",
+    "measure_normal_operation",
+    "measure_latency",
+    "measure_frequency_sweep",
+    "format_rows",
+]

@@ -1,0 +1,130 @@
+"""Regenerate every paper figure in one run: ``python -m repro.experiments.report``.
+
+Prints the series behind Figures 7-12 and the Section 5 propositions at a
+configurable scale.  The benchmark suite (``pytest benchmarks/
+--benchmark-only``) runs the same harnesses with shape assertions and
+wall-clock timing; this module is the quick human-readable path.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.analysis.concentration import monte_carlo_summary
+from repro.experiments.common import (
+    measure_frequency_sweep,
+    measure_latency,
+    measure_migration_stage,
+    measure_normal_operation,
+)
+
+
+def section(title: str) -> None:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+
+
+def report_migration_stage(window: int, joins: list, charts: bool = False) -> None:
+    from repro.experiments.charts import speedup_chart
+
+    for case, figure in (("best", "Figure 7"), ("worst", "Figure 8")):
+        section(f"{figure}: migration stage, {case} case (window {window})")
+        print(f"{'joins':>6} {'jisc':>12} {'cacq':>12} {'parallel':>12} {'speedup/pt':>11}")
+        jisc_series, pt_series = {}, {}
+        for n_joins in joins:
+            rows = {r.strategy: r for r in measure_migration_stage(n_joins, window, case=case)}
+            jisc = rows["jisc"].virtual_time
+            jisc_series[n_joins] = jisc
+            pt_series[n_joins] = rows["parallel_track"].virtual_time
+            print(
+                f"{n_joins:>6d} {jisc:>12.0f} {rows['cacq'].virtual_time:>12.0f} "
+                f"{rows['parallel_track'].virtual_time:>12.0f} "
+                f"{rows['parallel_track'].virtual_time / jisc:>11.2f}"
+            )
+        if charts:
+            print()
+            print(speedup_chart(pt_series, jisc_series, label="JISC speedup vs Parallel Track (by #joins)"))
+
+
+def report_normal_operation(window: int, n_joins: int) -> None:
+    section(f"Figure 9: normal operation ({n_joins} joins, window {window})")
+    series = measure_normal_operation(n_joins=n_joins, window=window, n_tuples=10_000)
+    print(f"{'tuples':>9} {'jisc':>12} {'pure SHJ':>12} {'cacq':>12}")
+    for jisc, shj, cacq in zip(series["jisc"], series["symmetric_hash"], series["cacq"]):
+        print(
+            f"{jisc.tuples:>9d} {jisc.virtual_time:>12.0f} "
+            f"{shj.virtual_time:>12.0f} {cacq.virtual_time:>12.0f}"
+        )
+
+
+def report_latency(windows: list) -> None:
+    section("Figure 10: output latency after a transition")
+    print(f"{'join':>6} {'window':>7} {'jisc':>12} {'moving_state':>13}")
+    for join in ("hash", "nl"):
+        for window in windows:
+            lat = measure_latency(window=window, n_joins=5, join=join)
+            print(
+                f"{join:>6} {window:>7d} {lat['jisc']:>12.1f} "
+                f"{lat['moving_state']:>13.1f}"
+            )
+
+
+def report_frequency(window: int, n_joins: int) -> None:
+    # Periods at 5-40x the window turnover, matching the paper's
+    # period/turnover ratios (see bench_fig11).
+    turnover = window * (n_joins + 1)
+    periods = [5 * turnover, 10 * turnover, 20 * turnover, 40 * turnover]
+    for case, figure in (("worst", "Figure 11"), ("best", "Figure 12")):
+        section(f"{figure}: transition frequency, {case} case")
+        rows = measure_frequency_sweep(
+            n_joins,
+            periods=periods,
+            window=window,
+            n_tuples=80 * turnover,
+            case=case,
+        )
+        by_period: dict = {}
+        for r in rows:
+            by_period.setdefault(int(r.extra["period"]), {})[r.strategy] = r.virtual_time
+        print(f"{'period':>8} {'jisc':>12} {'cacq':>12} {'parallel':>12}")
+        for period, d in sorted(by_period.items()):
+            print(
+                f"{period:>8d} {d['jisc']:>12.0f} {d['cacq']:>12.0f} "
+                f"{d['parallel_track']:>12.0f}"
+            )
+
+
+def report_analysis() -> None:
+    section("Section 5: concentration of the number of complete states")
+    print(f"{'n':>5} {'E[C_n]':>10} {'MC mean':>10} {'Var':>10} {'MC var':>10} {'C_n/n':>7}")
+    for n in (10, 50, 100, 200):
+        s = monte_carlo_summary(n, 20_000, seed=1)
+        print(
+            f"{n:>5d} {s['exact_mean']:>10.2f} {s['empirical_mean']:>10.2f} "
+            f"{s['exact_variance']:>10.1f} {s['empirical_variance']:>10.1f} "
+            f"{s['mean_ratio']:>7.3f}"
+        )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--window", type=int, default=80)
+    parser.add_argument(
+        "--joins", type=int, nargs="+", default=[4, 8, 12, 16, 20]
+    )
+    parser.add_argument("--quick", action="store_true", help="small scale")
+    parser.add_argument(
+        "--charts", action="store_true", help="render terminal charts"
+    )
+    args = parser.parse_args()
+    window = 50 if args.quick else args.window
+    joins = [4, 8] if args.quick else args.joins
+
+    report_migration_stage(window, joins, charts=args.charts)
+    report_normal_operation(window, max(joins))
+    report_latency([window // 2, window, 2 * window])
+    report_frequency(60, 12 if not args.quick else 6)
+    report_analysis()
+
+
+if __name__ == "__main__":
+    main()

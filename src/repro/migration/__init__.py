@@ -1,0 +1,27 @@
+"""Plan-migration strategies (Sections 3 and 4).
+
+* :class:`StaticPlanExecutor` — a plain pipelined plan that ignores
+  transition requests; the correctness oracle ("same output with or
+  without a transition", Section 2.2).
+* :class:`JISCStrategy` — the paper's contribution (Section 4).
+* :class:`MovingStateStrategy` — halt and eagerly recompute missing states
+  (Section 3.2).
+* :class:`ParallelTrackStrategy` — run old and new plans side by side with
+  duplicate elimination (Section 3.3).
+"""
+
+from repro.migration.base import MigrationStrategy, StaticPlanExecutor, join_factory
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.migration.parallel_track import ParallelTrackStrategy
+from repro.migration.mjoin import MJoinExecutor
+
+__all__ = [
+    "MigrationStrategy",
+    "StaticPlanExecutor",
+    "join_factory",
+    "JISCStrategy",
+    "MovingStateStrategy",
+    "ParallelTrackStrategy",
+    "MJoinExecutor",
+]

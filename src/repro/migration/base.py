@@ -1,0 +1,170 @@
+"""Strategy base class and the static (no-migration) reference executor."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence, Tuple
+
+from repro.engine.cost import CostModel, VirtualClock
+from repro.engine.metrics import Metrics
+from repro.operators.joins import NestedLoopsJoin, SymmetricHashJoin
+from repro.plans.build import OpFactory, PhysicalPlan, build_plan
+from repro.plans.spec import PlanSpec, left_deep
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+def join_factory(join: str = "hash", predicate: Optional[Callable] = None) -> OpFactory:
+    """Operator factory for ``"hash"`` (symmetric hash) or ``"nl"`` joins."""
+    if join == "hash":
+        return lambda l, r, m: SymmetricHashJoin(l, r, m)
+    if join == "nl":
+        return lambda l, r, m: NestedLoopsJoin(l, r, m, predicate=predicate)
+    raise ValueError(f"unknown join kind {join!r} (expected 'hash' or 'nl')")
+
+
+def hybrid_join_factory(
+    theta_streams, predicate: Optional[Callable] = None
+) -> OpFactory:
+    """Mixed plans (Section 2.1): hash joins for equi-join streams,
+    nested-loops joins where a general theta predicate is involved.
+
+    A join node is evaluated by nested loops when the stream it brings into
+    the plan (its right child in a left-deep chain, or either side of a
+    leaf join) belongs to ``theta_streams``; every other node uses a
+    symmetric hash join.  ``predicate`` is the theta condition over the two
+    join-attribute values (equality when omitted, which keeps the plan
+    equivalent to an all-hash one — useful for testing).
+    """
+    theta = frozenset(theta_streams)
+
+    def factory(left, right, metrics):
+        brings_theta = bool(right.membership & theta) or (
+            len(left.membership) == 1 and bool(left.membership & theta)
+        )
+        if brings_theta:
+            return NestedLoopsJoin(left, right, metrics, predicate=predicate)
+        return SymmetricHashJoin(left, right, metrics)
+
+    return factory
+
+
+def as_spec(spec_or_order) -> PlanSpec:
+    """Accept a nested spec, a flat left-deep stream order, or plan text.
+
+    Strings are parsed as infix plan expressions (``"(R ⋈ S) ⋈ T"``,
+    ``"R * S * T"`` — see :mod:`repro.plans.printer`).
+    """
+    if isinstance(spec_or_order, str):
+        from repro.plans.printer import parse_plan
+
+        spec = parse_plan(spec_or_order)
+        if isinstance(spec, str):
+            raise ValueError("a plan needs at least two streams")
+        return spec
+    if isinstance(spec_or_order, (list, tuple)) and all(
+        isinstance(x, str) for x in spec_or_order
+    ):
+        return left_deep(tuple(spec_or_order))
+    return spec_or_order
+
+
+class MigrationStrategy:
+    """Common scaffolding for all pipelined migration strategies.
+
+    Parameters
+    ----------
+    schema:
+        Participating streams and their window sizes.
+    initial_spec:
+        Starting plan: a nested spec or a flat left-deep stream order.
+    metrics:
+        Shared metrics bag; a fresh one (with a virtual clock) is created
+        when omitted.
+    join:
+        ``"hash"`` for symmetric hash joins, ``"nl"`` for nested-loops.
+    """
+
+    name = "abstract"
+
+    def __init__(
+        self,
+        schema: Schema,
+        initial_spec,
+        metrics: Optional[Metrics] = None,
+        join: str = "hash",
+        cost_model: Optional[CostModel] = None,
+        op_factory: Optional[OpFactory] = None,
+        top_factories: Optional[Sequence[Callable]] = None,
+    ):
+        self.schema = schema
+        self.join = join
+        self.op_factory = op_factory or join_factory(join)
+        self.metrics = metrics or Metrics(clock=VirtualClock(cost_model))
+        self.plan: PhysicalPlan = build_plan(
+            as_spec(initial_spec), schema, self.metrics, op_factory=self.op_factory
+        )
+        self._last_seq = -1
+        # Unary operators stacked between the join root and the sink
+        # (Section 4.7: aggregates etc. are unaffected by plan transitions).
+        # Created once; re-attached to each new plan's root so their state
+        # (e.g. group-by counters) survives every migration.
+        self.tops = [
+            factory(self.plan.root, self.metrics) for factory in (top_factories or ())
+        ]
+        self._install_tops()
+
+    def _install_tops(self) -> None:
+        """Re-attach the persistent unary top chain above the current root."""
+        if not self.tops:
+            return
+        below = self.plan.root
+        for top in self.tops:
+            top.child = below
+            below.parent = top
+            below = top
+        self.plan.sink.attach(below)
+
+    # -- interface -----------------------------------------------------------------
+
+    def process(self, tup: StreamTuple) -> None:
+        self._last_seq = max(self._last_seq, tup.seq)
+        self.plan.feed(tup)
+
+    def transition(self, new_spec) -> None:
+        raise NotImplementedError
+
+    @property
+    def outputs(self) -> List[Any]:
+        return self.plan.sink.outputs
+
+    def output_lineages(self) -> List[Tuple]:
+        return self.plan.sink.output_lineages()
+
+    # -- shared helpers --------------------------------------------------------------
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next arrival will carry (at least)."""
+        return self._last_seq + 1
+
+    @property
+    def clock(self):
+        return self.metrics.clock
+
+    def now(self) -> float:
+        """Current virtual time (0.0 when no clock is attached)."""
+        return self.metrics.clock.now if self.metrics.clock else 0.0
+
+
+class StaticPlanExecutor(MigrationStrategy):
+    """Reference executor: runs the initial plan forever.
+
+    ``transition`` is a no-op, making this the oracle of Section 2.2: a
+    correct migration strategy must produce exactly the same output log as
+    this executor fed the same events.
+    """
+
+    name = "static"
+
+    def transition(self, new_spec) -> None:
+        return None

@@ -1,0 +1,83 @@
+"""The JISC strategy: lazy, on-demand state completion (Section 4).
+
+This is the thin runtime wrapper that wires :mod:`repro.core` into the
+strategy interface: classify arrivals as fresh/attempted before feeding
+them (Definition 2), and delegate transitions to
+:func:`repro.core.transition.perform_jisc_transition` (state adoption,
+counter initialization, overlapped-transition handling).
+
+The transition itself performs no state computation whatsoever — adopted
+states are pointer moves — which is why JISC keeps a steady output
+(Section 5.1.1) and why its only migration cost appears lazily, as
+completion work on the first fresh probe of each pending value.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.controller import JISCController
+from repro.core.transition import perform_jisc_transition
+from repro.engine.cost import CostModel
+from repro.engine.metrics import Metrics
+from repro.migration.base import MigrationStrategy, as_spec
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+class JISCStrategy(MigrationStrategy):
+    """Just-In-Time State Completion."""
+
+    name = "jisc"
+
+    def __init__(
+        self,
+        schema: Schema,
+        initial_spec,
+        metrics: Optional[Metrics] = None,
+        join: str = "hash",
+        cost_model: Optional[CostModel] = None,
+        force_recursive: bool = False,
+        naive_recheck: bool = False,
+        op_factory=None,
+        expiry_optimization: bool = True,
+        top_factories=None,
+    ):
+        super().__init__(
+            schema, initial_spec, metrics, join, cost_model, op_factory, top_factories
+        )
+        self.controller = JISCController(
+            self.metrics,
+            force_recursive=force_recursive,
+            naive_recheck=naive_recheck,
+            expiry_optimization=expiry_optimization,
+        )
+        self.controller.attach(self.plan)
+
+    def process(self, tup: StreamTuple) -> None:
+        self.controller.on_arrival(tup)
+        super().process(tup)
+        self.controller.after_arrival(tup)
+
+    def transition(self, new_spec) -> None:
+        self.plan = perform_jisc_transition(
+            self.plan,
+            as_spec(new_spec),
+            self.schema,
+            self.metrics,
+            self.controller,
+            transition_seq=self.next_seq,
+            op_factory=self.op_factory,
+        )
+        self._install_tops()
+
+    # -- introspection (used by tests and benchmarks) ---------------------------------
+
+    def incomplete_state_count(self) -> int:
+        """Number of currently incomplete states."""
+        return len(self.controller.incomplete_ops)
+
+    def pending_values(self, names) -> Optional[set]:
+        """Pending completion values of the state covering ``names``."""
+        state = self.plan.state_of(names)
+        return None if state.status.pending is None else set(state.status.pending)

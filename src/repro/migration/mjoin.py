@@ -1,0 +1,105 @@
+"""MJoin: a single n-ary symmetric join operator (after [11, 1]).
+
+The paper's Section 2.1 sets MJoin aside; it is provided here as an extra
+baseline because it is the other classic "no intermediate state" design:
+one hash table per stream, and each arriving tuple probes the other
+streams' tables in a per-stream *probe order*, re-deriving all
+intermediate results on the fly.  Like CACQ it migrates nothing on a plan
+transition (only the probe orders change) and pays for that with
+recomputation during normal operation — but without the eddy's per-hop
+routing overhead, it sits between CACQ and the pipelined plans.
+
+The probe order for a tuple of stream X defaults to the current left-deep
+order with X removed, exactly how an optimizer would order MJoin probes.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.engine.cost import CostModel, VirtualClock
+from repro.engine.metrics import Counter, Metrics
+from repro.migration.base import as_spec
+from repro.plans.spec import leaves
+from repro.streams.schema import Schema
+from repro.streams.tuples import CompositeTuple, StreamTuple
+from repro.streams.window import SlidingWindow, TimeSlidingWindow
+from repro.operators.state import HashState
+
+
+class MJoinExecutor:
+    """One n-ary symmetric hash join over all streams."""
+
+    name = "mjoin"
+
+    def __init__(
+        self,
+        schema: Schema,
+        initial_spec,
+        metrics: Optional[Metrics] = None,
+        cost_model: Optional[CostModel] = None,
+    ):
+        self.schema = schema
+        self.metrics = metrics or Metrics(clock=VirtualClock(cost_model))
+        order = tuple(leaves(as_spec(initial_spec)))
+        if len(order) < 2:
+            raise ValueError("an MJoin needs at least two streams")
+        self.order: Tuple[str, ...] = order
+        self.windows: Dict[str, Any] = {}
+        self.tables: Dict[str, HashState] = {}
+        for name in order:
+            desc = schema.descriptor(name)
+            if desc.window_kind == "time":
+                self.windows[name] = TimeSlidingWindow(desc.window)
+            else:
+                self.windows[name] = SlidingWindow(desc.window)
+            self.tables[name] = HashState()
+        self.outputs: List[Any] = []
+        self.output_times: List[float] = []
+
+    # -- strategy interface -----------------------------------------------------
+
+    def process(self, tup: StreamTuple) -> None:
+        window = self.windows[tup.stream]
+        table = self.tables[tup.stream]
+        for evicted in window.push_all(tup):
+            table.remove_entry(evicted)
+            self.metrics.count(Counter.STATE_REMOVE)
+        table.add(tup)
+        self.metrics.count(Counter.HASH_INSERT)
+
+        partials: List = [tup]
+        for stream in self.probe_order(tup.stream):
+            self.metrics.count(Counter.HASH_PROBE)
+            matches = self.tables[stream].get(tup.key)
+            if not matches:
+                return
+            partials = [
+                CompositeTuple.of(partial, match)
+                for partial in partials
+                for match in matches
+            ]
+            # Intermediate results are transient but not free: each one is
+            # constructed and handed to the next probe stage.
+            self.metrics.count_n(Counter.TUPLE_EMIT, len(partials))
+        clock = self.metrics.clock
+        for result in partials:
+            self.metrics.count(Counter.OUTPUT)
+            self.outputs.append(result)
+            self.output_times.append(
+                clock.now if clock is not None else float(len(self.outputs))
+            )
+
+    def probe_order(self, stream: str) -> Tuple[str, ...]:
+        """The other streams, in the current plan's bottom-up order."""
+        return tuple(name for name in self.order if name != stream)
+
+    def transition(self, new_spec) -> None:
+        """Only the probe orders change; no state moves."""
+        new_order = tuple(leaves(as_spec(new_spec)))
+        if set(new_order) != set(self.order):
+            raise ValueError("transition must preserve the stream set")
+        self.order = new_order
+
+    def output_lineages(self) -> List[Tuple]:
+        return [tup.lineage for tup in self.outputs]

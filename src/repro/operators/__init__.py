@@ -1,0 +1,34 @@
+"""Push-based operator library (Section 2.1).
+
+Operators form a binary tree; each operator knows its parent and children,
+owns a *state* (its materialized output relation over the current windows),
+and pushes result tuples to its parent.  Leaf operators are stream scans
+whose state is the stream's sliding window; internal operators are symmetric
+hash joins, nested-loops joins (for general theta joins), or set-difference
+operators; unary operators (select / project / group-by) are stateless or
+hold always-complete state (Section 4.7).
+"""
+
+from repro.operators.state import HashState, StateStatus
+from repro.operators.base import Operator, UnaryOperator, BinaryOperator
+from repro.operators.scan import StreamScan
+from repro.operators.joins import SymmetricHashJoin, NestedLoopsJoin
+from repro.operators.setdiff import SetDifference
+from repro.operators.unary import Select, Project, GroupByCount
+from repro.operators.sink import OutputSink
+
+__all__ = [
+    "HashState",
+    "StateStatus",
+    "Operator",
+    "UnaryOperator",
+    "BinaryOperator",
+    "StreamScan",
+    "SymmetricHashJoin",
+    "NestedLoopsJoin",
+    "SetDifference",
+    "Select",
+    "Project",
+    "GroupByCount",
+    "OutputSink",
+]

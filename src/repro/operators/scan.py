@@ -1,0 +1,76 @@
+"""Stream-scan leaf operator.
+
+A scan owns the stream's count-based sliding window.  Its state *is* the
+window contents, hashed on the join attribute — the "hash table of that
+stream" of Section 2.1.  Leaf states are always complete (Section 4).
+
+Inserting a tuple may evict the oldest window tuple; the eviction is traced
+up the pipeline via ``remove`` before the new tuple is propagated, so that
+the new tuple never joins with expired state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.engine.metrics import Counter, Metrics
+from repro.operators.base import Operator
+from repro.streams.tuples import StreamTuple
+from repro.streams.window import SlidingWindow, TimeSlidingWindow
+
+#: Signature of the freshness oracle attached by the JISC controller:
+#: called with the expiring base tuple, returns True if it is *fresh*
+#: (Definition 2).  Non-JISC pipelines leave it unset (treated as fresh,
+#: which is only ever consulted when incomplete states exist).
+FreshFn = Callable[[StreamTuple], bool]
+
+
+class StreamScan(Operator):
+    """Leaf operator for one input stream."""
+
+    kind = "scan"
+
+    def __init__(
+        self, stream: str, window: int, metrics: Metrics, window_kind: str = "count"
+    ):
+        super().__init__(metrics)
+        self.stream = stream
+        if window_kind == "count":
+            self.window = SlidingWindow(window)
+        elif window_kind == "time":
+            self.window = TimeSlidingWindow(window)
+        else:
+            raise ValueError(f"unknown window kind {window_kind!r}")
+        self.fresh_fn: Optional[FreshFn] = None
+        # Called with the evicted tuple after the removal cascade finished;
+        # the JISC controller uses it to retire pending completion values.
+        self.expire_hook: Optional[Callable[[StreamTuple], None]] = None
+
+    @property
+    def membership(self) -> frozenset:
+        return frozenset((self.stream,))
+
+    def insert(self, tup: StreamTuple) -> None:
+        """External entry point: a new tuple arrived on this stream."""
+        if tup.stream != self.stream:
+            raise ValueError(f"tuple from {tup.stream!r} fed to scan of {self.stream!r}")
+        for evicted in self.window.push_all(tup):
+            self._expire(evicted)
+        self.state.add(tup)
+        self.metrics.count(Counter.HASH_INSERT)
+        self.emit(tup)
+
+    def _expire(self, evicted: StreamTuple) -> None:
+        """Evict ``evicted`` from this state and trace it up the pipeline."""
+        self.state.remove_entry(evicted)
+        self.metrics.count(Counter.STATE_REMOVE)
+        fresh = True if self.fresh_fn is None else self.fresh_fn(evicted)
+        self.emit_removal((evicted.stream, evicted.seq), fresh)
+        if self.expire_hook is not None:
+            self.expire_hook(evicted)
+
+    def process(self, tup, child) -> None:  # pragma: no cover - defensive
+        raise TypeError("StreamScan has no children; use insert()")
+
+    def remove(self, part, child, fresh: bool = True) -> None:  # pragma: no cover
+        raise TypeError("StreamScan has no children")

@@ -1,0 +1,194 @@
+"""Set-difference operator (Section 4.7).
+
+``X = L - R`` retrieves the tuples of the outer input ``L`` that have no
+join-attribute match in the inner input ``R`` (within the current windows).
+As in the paper's example chains (``((A - B) - C) - D``), the inner input is
+always a base stream scan; the outer input is a scan or another
+set-difference, so the entries flowing through a chain are always base
+tuples of the outermost stream.
+
+Semantics follow the paper:
+
+* a tuple received from the outer input probes the inner scan's state; if no
+  match is found it is added to the operator's state and pushed up;
+* a tuple received from the inner input probes the operator's state; every
+  match is removed from the state, and the removal is traced up the
+  pipeline (downstream operators must drop entries built on it);
+* JISC (Section 4.7): an inner tuple that probes an **incomplete** state is
+  additionally *forwarded up the pipeline until it hits the first complete
+  state*, clearing matching entries at every stop — pre-transition outer
+  tuples live only in the adopted (complete) upper states, so the clearing
+  must reach them.
+
+Two suppression semantics are supported:
+
+* ``reappear_on_inner_expiry=True`` (default) — full streaming semantics:
+  when the last inner tuple suppressing an outer tuple slides out of its
+  window, the outer tuple re-enters the difference and is re-emitted.
+  Suppression counts are node-local, so this mode does not survive plan
+  transitions (the paper does not define cross-migration reappearance
+  either); use it for static plans.
+* ``reappear_on_inner_expiry=False`` — monotone semantics: a suppressed
+  outer tuple stays suppressed for its lifetime.  This mode is
+  plan-shape-independent and is the one exercised by the migration tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Set, Tuple
+
+from repro.engine.metrics import Counter, Metrics
+from repro.operators.base import BinaryOperator, Operator
+from repro.operators.scan import StreamScan
+from repro.streams.tuples import StreamTuple
+
+Part = Tuple[str, int]
+
+
+class SetDifference(BinaryOperator):
+    """Streaming set-difference ``left - right`` on the join attribute."""
+
+    kind = "setdiff"
+
+    def __init__(
+        self,
+        left: Operator,
+        right: Operator,
+        metrics: Metrics,
+        reappear_on_inner_expiry: bool = True,
+    ):
+        if not isinstance(right, StreamScan):
+            raise TypeError("SetDifference requires the inner (right) input to be a scan")
+        super().__init__(left, right, metrics)
+        self.reappear_on_inner_expiry = reappear_on_inner_expiry
+        # outer entries currently suppressed by >=1 inner match:
+        #   lineage-part of the outer entry -> number of live inner matches
+        self._suppress_count: Dict[Part, int] = {}
+        self._suppressed_tuples: Dict[Part, StreamTuple] = {}
+        # inner part -> set of outer parts it suppresses
+        self._suppressed_by: Dict[Part, Set[Part]] = {}
+
+    # -- data flow -------------------------------------------------------------
+
+    def process(self, tup, child: Operator) -> None:
+        if child is self.left:
+            self._process_outer(tup)
+        else:
+            self._process_inner(tup)
+
+    def _process_outer(self, tup: StreamTuple) -> None:
+        self.metrics.count(Counter.HASH_PROBE)
+        matches = self.right.state.get(tup.key)
+        if matches:
+            self._register_suppression(tup, matches)
+        else:
+            if self.state.add(tup):
+                self.metrics.count(Counter.HASH_INSERT)
+                self.emit(tup)
+
+    def _process_inner(self, tup: StreamTuple) -> None:
+        """Clear entries matching an inner tuple; forward while incomplete.
+
+        Called both for tuples of this operator's own inner stream and for
+        inner tuples *forwarded* from an incomplete descendant (Section 4.7).
+        """
+        self.metrics.count(Counter.HASH_PROBE)
+        matched = self.state.get(tup.key)
+        inner_part = self._part_of(tup)
+        for outer in matched:
+            self.state.remove_entry(outer)
+            self.metrics.count(Counter.STATE_REMOVE)
+            part = self._part_of(outer)
+            self._suppress_count[part] = self._suppress_count.get(part, 0) + 1
+            self._suppressed_tuples[part] = outer
+            self._suppressed_by.setdefault(inner_part, set()).add(part)
+            self.emit_removal(part, fresh=True)
+        # Outer tuples already suppressed here that also match this inner
+        # tuple gain one more suppressor.
+        just_matched = {self._part_of(m) for m in matched}
+        for part, outer in list(self._suppressed_tuples.items()):
+            if outer.key == tup.key and part not in just_matched:
+                self._suppress_count[part] += 1
+                self._suppressed_by.setdefault(inner_part, set()).add(part)
+        # JISC (Section 4.7): keep forwarding up through incomplete states;
+        # pre-transition entries live only in the first complete ancestor.
+        if not self.state.status.complete and isinstance(self.parent, SetDifference):
+            self.parent._process_inner(tup)
+
+    def _register_suppression(self, outer: StreamTuple, matches) -> None:
+        part = self._part_of(outer)
+        self._suppress_count[part] = len(matches)
+        self._suppressed_tuples[part] = outer
+        for inner in matches:
+            self._suppressed_by.setdefault(self._part_of(inner), set()).add(part)
+
+    # -- expiry ----------------------------------------------------------------
+
+    def remove(self, part: Part, child: Operator, fresh: bool = True) -> None:
+        if child is self.right:
+            self._expire_inner(part)
+            return
+        # outer-side expiry: drop from state or from the suppression maps
+        self.metrics.count(Counter.HASH_PROBE)
+        removed = self.state.remove_with_part(part)
+        self.metrics.count_n(Counter.STATE_REMOVE, len(removed))
+        self._suppress_count.pop(part, None)
+        self._suppressed_tuples.pop(part, None)
+        for owners in self._suppressed_by.values():
+            owners.discard(part)
+        # A suppressed outer tuple was never pushed downstream, so there is
+        # nothing to clear above when the state is complete (removed is empty
+        # then); an incomplete state must keep clearing regardless (§4.2).
+        if removed or (not self.state.status.complete and fresh):
+            self.emit_removal(part, fresh)
+
+    def _expire_inner(self, inner_part: Part) -> None:
+        """An inner tuple left its window: release the outers it suppressed."""
+        released = self._suppressed_by.pop(inner_part, set())
+        if not self.reappear_on_inner_expiry:
+            return
+        for part in released:
+            count = self._suppress_count.get(part)
+            if count is None:
+                continue
+            if count <= 1:
+                del self._suppress_count[part]
+                outer = self._suppressed_tuples.pop(part)
+                if self.state.add(outer):
+                    self.metrics.count(Counter.HASH_INSERT)
+                    self.emit(outer)
+            else:
+                self._suppress_count[part] = count - 1
+
+    # -- JISC completion primitive -----------------------------------------------
+
+    def build_state_for_key(self, key, exclude_part=None) -> None:
+        """JISC completion primitive: rebuild entries for ``key``.
+
+        Both children are assumed complete for ``key``.  Outer entries with
+        a live inner match are registered as suppressed; unmatched ones are
+        inserted into the state (without emission — completion rebuilds
+        state, it does not produce new results).
+        """
+        self.metrics.count(Counter.COMPLETION_PROBE)
+        self.metrics.count_n(Counter.HASH_PROBE, 2)
+        inner = self.right.state.get(key)
+        outer = self.left.state.get(key)
+        for tup in outer:
+            part = self._part_of(tup)
+            if part == exclude_part:
+                continue  # the live cascade handles its own tuple
+            if part in self._suppress_count or tup in self.state:
+                continue
+            if inner:
+                self._register_suppression(tup, inner)
+            else:
+                if self.state.add(tup):
+                    self.metrics.count(Counter.HASH_INSERT)
+
+    @staticmethod
+    def _part_of(tup) -> Part:
+        lineage = tup.lineage
+        if len(lineage) != 1:
+            raise ValueError("set-difference chains carry base tuples only")
+        return lineage[0]

@@ -1,0 +1,58 @@
+"""Output sink: collects the query's result stream.
+
+The sink is the root's parent.  It records every emitted result (the
+append-only output log compared across strategies by the correctness
+tests), retractions caused by window expiry or set-difference updates, and
+the virtual-clock timestamp of each output — which is how the latency
+experiment (Figure 10) measures "time from transition trigger to first
+output tuple".
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from repro.engine.metrics import Counter, Metrics
+from repro.operators.base import Operator
+
+Part = Tuple[str, int]
+
+
+class OutputSink(Operator):
+    """Terminal collector of query results."""
+
+    kind = "sink"
+
+    def __init__(self, metrics: Metrics):
+        super().__init__(metrics)
+        self.outputs: List[Any] = []
+        self.output_times: List[float] = []
+        self.retractions: List[Part] = []
+
+    @property
+    def membership(self) -> frozenset:
+        return frozenset(("<sink>",))
+
+    def attach(self, root: Operator) -> None:
+        """Make this sink the parent of ``root``."""
+        root.parent = self
+
+    def process(self, tup, child) -> None:
+        self.metrics.count(Counter.OUTPUT)
+        self.outputs.append(tup)
+        clock = self.metrics.clock
+        self.output_times.append(clock.now if clock is not None else float(len(self.outputs)))
+
+    def remove(self, part: Part, child, fresh: bool = True) -> None:
+        self.retractions.append(part)
+
+    def first_output_at_or_after(self, t: float) -> Optional[float]:
+        """Virtual time of the first output at or after virtual time ``t``."""
+        for when in self.output_times:
+            if when >= t:
+                return when
+        return None
+
+    def output_lineages(self) -> List[Tuple[Part, ...]]:
+        """Lineages of all outputs, in emission order (the oracle's view)."""
+        return [tup.lineage for tup in self.outputs]

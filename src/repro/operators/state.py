@@ -1,0 +1,200 @@
+"""Operator state: hash tables over join results with lineage indexing.
+
+A :class:`HashState` is the materialized output relation of one operator,
+indexed two ways:
+
+* by join-attribute value — the symmetric-hash-join probe path;
+* by constituent base tuple — the window-expiry removal path (a removed
+  window tuple must be traced through the whole pipeline, Section 2.1).
+
+Entries are identified by lineage, so the same logical result is never
+stored twice (insertion is idempotent).
+
+:class:`StateStatus` carries the JISC bookkeeping of Section 4.3: whether
+the state is *complete* or *incomplete* (Definition 1) and, when incomplete,
+the set of join-attribute values still pending completion (the paper's
+integer counter is ``len(pending)``; we keep the value set because window
+slides can retire pending values, and because tests can then assert exactly
+*which* values remain).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.streams.tuples import CompositeTuple, StreamTuple
+
+Lineage = Tuple[Tuple[str, int], ...]
+Entry = "StreamTuple | CompositeTuple"
+
+
+class StateStatus:
+    """JISC completeness bookkeeping for one state (Section 4.3).
+
+    A state is *complete* when it holds every entry it would hold had the
+    current plan been running from the start (Definition 1).  An incomplete
+    state tracks ``pending``: the distinct join-attribute values whose
+    entries have not yet been completed.  ``pending is None`` encodes Case 3
+    of Section 4.3 (both children incomplete — the counter is meaningless
+    and completion is detected through child notifications instead).
+    """
+
+    __slots__ = ("complete", "pending")
+
+    def __init__(self, complete: bool = True):
+        self.complete = complete
+        self.pending: Optional[Set[Any]] = None
+
+    @property
+    def counter(self) -> Optional[int]:
+        """The paper's integer counter: number of values still pending."""
+        if self.pending is None:
+            return None
+        return len(self.pending)
+
+    def mark_complete(self) -> None:
+        self.complete = True
+        self.pending = None
+
+    def mark_incomplete(self, pending: Optional[Iterable[Any]]) -> None:
+        self.complete = False
+        self.pending = None if pending is None else set(pending)
+
+    def settle_value(self, value: Any) -> bool:
+        """Record that entries for ``value`` are now complete.
+
+        Returns ``True`` if this settles the last pending value (the counter
+        reached zero), i.e. the caller should mark the state complete and
+        notify the parent (Section 4.3).
+        """
+        if self.complete or self.pending is None:
+            return False
+        self.pending.discard(value)
+        return not self.pending
+
+    def retire_value(self, value: Any) -> bool:
+        """A pending value vanished from the reference child (window slide).
+
+        Same return convention as :meth:`settle_value`.
+        """
+        return self.settle_value(value)
+
+
+class HashState:
+    """A hash-indexed relation of (possibly composite) tuples.
+
+    Probe/insert/removal primitives do **not** count metrics themselves;
+    operators count, so that the same structure can back cost-free oracle
+    computations in tests.
+    """
+
+    __slots__ = ("by_key", "by_part", "by_lineage", "status", "_size")
+
+    def __init__(self, complete: bool = True):
+        # key value -> {lineage -> entry}
+        self.by_key: Dict[Any, Dict[Lineage, Entry]] = {}
+        # (stream, seq) -> set of lineages of entries containing that part
+        self.by_part: Dict[Tuple[str, int], Set[Lineage]] = {}
+        # lineage -> entry, for O(1) expiry removal
+        self.by_lineage: Dict[Lineage, Entry] = {}
+        self.status = StateStatus(complete)
+        self._size = 0
+
+    # -- core relation operations -------------------------------------------------
+
+    def add(self, entry: Entry) -> bool:
+        """Insert ``entry``; returns ``False`` if it was already present."""
+        lineage = entry.lineage
+        bucket = self.by_key.setdefault(entry.key, {})
+        if lineage in bucket:
+            return False
+        bucket[lineage] = entry
+        self.by_lineage[lineage] = entry
+        for part in lineage:
+            self.by_part.setdefault(part, set()).add(lineage)
+        self._size += 1
+        return True
+
+    def get(self, key: Any) -> List[Entry]:
+        """All entries with join-attribute value ``key`` (possibly empty)."""
+        bucket = self.by_key.get(key)
+        if not bucket:
+            return []
+        return list(bucket.values())
+
+    def contains_key(self, key: Any) -> bool:
+        return bool(self.by_key.get(key))
+
+    def remove_entry(self, entry: Entry) -> bool:
+        """Remove one specific entry; returns ``False`` if absent."""
+        lineage = entry.lineage
+        bucket = self.by_key.get(entry.key)
+        if not bucket or lineage not in bucket:
+            return False
+        del bucket[lineage]
+        if not bucket:
+            del self.by_key[entry.key]
+        self.by_lineage.pop(lineage, None)
+        for part in lineage:
+            owners = self.by_part.get(part)
+            if owners is not None:
+                owners.discard(lineage)
+                if not owners:
+                    del self.by_part[part]
+        self._size -= 1
+        return True
+
+    def remove_with_part(self, part: Tuple[str, int]) -> List[Entry]:
+        """Remove and return every entry containing base tuple ``part``.
+
+        This is the window-expiry path: when base tuple ``part`` slides out
+        of its stream's window, every join result built from it must leave
+        every state.
+        """
+        lineages = self.by_part.get(part)
+        if not lineages:
+            return []
+        removed: List[Entry] = []
+        for lineage in list(lineages):
+            entry = self.by_lineage.get(lineage)
+            if entry is not None and self.remove_entry(entry):
+                removed.append(entry)
+        return removed
+
+    # -- introspection -------------------------------------------------------------
+
+    def distinct_values(self) -> Set[Any]:
+        """Distinct join-attribute values currently present."""
+        return set(self.by_key)
+
+    def distinct_count(self) -> int:
+        return len(self.by_key)
+
+    def entries(self) -> Iterator[Entry]:
+        """Iterate over all entries (no defined order)."""
+        for bucket in self.by_key.values():
+            yield from bucket.values()
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __contains__(self, entry: Entry) -> bool:
+        bucket = self.by_key.get(entry.key)
+        return bool(bucket) and entry.lineage in bucket
+
+    def clear(self) -> None:
+        self.by_key.clear()
+        self.by_part.clear()
+        self.by_lineage.clear()
+        self._size = 0
+
+    def copy_from(self, other: "HashState") -> int:
+        """Bulk-copy all entries of ``other`` into this state.
+
+        Returns the number of entries copied (for STATE_COPY accounting).
+        """
+        n = 0
+        for entry in other.entries():
+            if self.add(entry):
+                n += 1
+        return n

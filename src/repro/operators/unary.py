@@ -1,0 +1,100 @@
+"""Unary operators: select, project, group-by count (Section 4.7).
+
+Unary operators have no plan-migration issues: their state (if any) is
+always complete, because the state of the operator below them in the new
+plan has the same membership as in the old plan (the root of a QEP always
+covers all streams).  ``GroupByCount`` demonstrates the paper's aggregate
+example: a count maintained on top of the QEPs of Figure 2 is unaffected by
+a plan transition.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Tuple
+
+from repro.engine.metrics import Counter, Metrics
+from repro.operators.base import Operator, UnaryOperator
+
+Part = Tuple[str, int]
+
+
+class Select(UnaryOperator):
+    """Filter: forwards tuples satisfying ``predicate``; stateless."""
+
+    kind = "select"
+
+    def __init__(self, child: Operator, predicate: Callable[[Any], bool], metrics: Metrics):
+        super().__init__(child, metrics)
+        self.predicate = predicate
+
+    def process(self, tup, child) -> None:
+        if self.predicate(tup):
+            if self.state.add(tup):
+                self.metrics.count(Counter.HASH_INSERT)
+            self.emit(tup)
+
+    def remove(self, part: Part, child, fresh: bool = True) -> None:
+        removed = self.state.remove_with_part(part)
+        self.metrics.count_n(Counter.STATE_REMOVE, len(removed))
+        if removed:
+            self.emit_removal(part, fresh)
+
+
+class Project(UnaryOperator):
+    """Payload transformation; passes tuples through unchanged otherwise.
+
+    ``transform`` receives the tuple and returns a derived payload that is
+    attached to the emitted tuple's ``payload`` slot when the tuple is a
+    base tuple; composites are forwarded untouched (their parts keep their
+    own payloads).  Projection never affects lineage, so removal passes
+    straight through.
+    """
+
+    kind = "project"
+
+    def __init__(self, child: Operator, transform: Callable[[Any], Any], metrics: Metrics):
+        super().__init__(child, metrics)
+        self.transform = transform
+
+    def process(self, tup, child) -> None:
+        self.transform(tup)
+        self.emit(tup)
+
+    def remove(self, part: Part, child, fresh: bool = True) -> None:
+        self.emit_removal(part, fresh)
+
+
+class GroupByCount(UnaryOperator):
+    """Maintains a count per join-attribute value of the child's output.
+
+    Counts rise on additions and fall on removals (window expiry traced up
+    the pipeline), so the aggregate stays correct across plan transitions.
+    """
+
+    kind = "groupby_count"
+
+    def __init__(self, child: Operator, metrics: Metrics):
+        super().__init__(child, metrics)
+        self.counts: Dict[Any, int] = {}
+
+    def process(self, tup, child) -> None:
+        self.counts[tup.key] = self.counts.get(tup.key, 0) + 1
+        if self.state.add(tup):
+            self.metrics.count(Counter.HASH_INSERT)
+        self.emit(tup)
+
+    def remove(self, part: Part, child, fresh: bool = True) -> None:
+        removed = self.state.remove_with_part(part)
+        self.metrics.count_n(Counter.STATE_REMOVE, len(removed))
+        for entry in removed:
+            remaining = self.counts.get(entry.key, 0) - 1
+            if remaining > 0:
+                self.counts[entry.key] = remaining
+            else:
+                self.counts.pop(entry.key, None)
+        if removed:
+            self.emit_removal(part, fresh)
+
+    def count_of(self, key: Any) -> int:
+        """Current count of results with join value ``key``."""
+        return self.counts.get(key, 0)

@@ -1,0 +1,107 @@
+"""A minimal selectivity-feedback optimizer.
+
+The paper treats the *decision* to migrate as orthogonal (Section 2) — its
+experiments force transitions at fixed points.  For the example programs we
+still want a realistic trigger, so this module provides the textbook
+runtime-statistics heuristic the paper's Section 5.2 assumes: keep the most
+selective joins at the bottom of a left-deep plan, re-sorting by observed
+selectivity; if the re-sorted order differs from the current one, request a
+transition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+
+class SelectivityOptimizer:
+    """Tracks per-stream match rates and proposes left-deep reorderings.
+
+    ``observe(stream, probes, matches)`` feeds runtime statistics (how many
+    probes against that stream's state found matches).  ``propose(current)``
+    returns a new left-deep order — the anchor (outermost) stream is kept
+    and the remaining streams are sorted by ascending observed selectivity —
+    or ``None`` when the current order is already within ``tolerance``.
+    """
+
+    def __init__(
+        self,
+        tolerance: float = 0.1,
+        min_probes: int = 100,
+        decay: float = 1.0,
+        cooldown: int = 0,
+    ):
+        if not 0 <= tolerance:
+            raise ValueError("tolerance must be non-negative")
+        if not 0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.tolerance = tolerance
+        self.min_probes = min_probes
+        # Exponential decay of accumulated statistics: with decay < 1 the
+        # estimator tracks *drifting* selectivities instead of averaging
+        # over the whole history.
+        self.decay = decay
+        # Thrashing guard (Section 5.1.2): at least this many observe()
+        # calls must pass between two accepted proposals, so fluctuating
+        # selectivities cannot trigger migration storms.
+        self.cooldown = cooldown
+        self._probes: Dict[str, float] = {}
+        self._matches: Dict[str, float] = {}
+        self._observations = 0
+        self._last_proposal_at: Optional[int] = None
+
+    def observe(self, stream: str, probes: int, matches: int) -> None:
+        """Record ``probes`` state probes against ``stream``, ``matches`` hits."""
+        if probes < 0 or matches < 0:
+            raise ValueError("probes and matches must be non-negative")
+        if self.decay < 1.0:
+            self._probes[stream] = self._probes.get(stream, 0.0) * self.decay
+            self._matches[stream] = self._matches.get(stream, 0.0) * self.decay
+        self._probes[stream] = self._probes.get(stream, 0.0) + probes
+        self._matches[stream] = self._matches.get(stream, 0.0) + matches
+        self._observations += 1
+
+    def selectivity(self, stream: str) -> Optional[float]:
+        """Observed match rate for ``stream`` (``None`` until min_probes)."""
+        probes = self._probes.get(stream, 0)
+        if probes < self.min_probes:
+            return None
+        return self._matches.get(stream, 0) / probes
+
+    def propose(self, current: Sequence[str]) -> Optional[Tuple[str, ...]]:
+        """Return a better left-deep order, or ``None`` to keep ``current``.
+
+        The first stream stays anchored (it has no selectivity of its own in
+        a left-deep chain); the rest are sorted by ascending selectivity so
+        the most selective joins sit at the bottom of the plan, as the
+        paper's Section 5.2 setup assumes.  While the cooldown since the
+        last accepted proposal has not elapsed, no new proposal is made
+        (thrashing avoidance, Section 5.1.2).
+        """
+        if (
+            self._last_proposal_at is not None
+            and self._observations - self._last_proposal_at < self.cooldown
+        ):
+            return None
+        rest = list(current[1:])
+        sels = {}
+        for name in rest:
+            sel = self.selectivity(name)
+            if sel is None:
+                return None  # not enough evidence yet
+            sels[name] = sel
+        proposed = tuple([current[0]] + sorted(rest, key=lambda n: sels[n]))
+        if proposed == tuple(current):
+            return None
+        # Only migrate when the ordering error is material: compare the
+        # selectivity inversions against the tolerance.
+        worst_gap = 0.0
+        for a, b in zip(current[1:], current[2:]):
+            gap = sels[a] - sels[b]
+            worst_gap = max(worst_gap, gap)
+        if worst_gap <= self.tolerance:
+            return None
+        self._last_proposal_at = self._observations
+        return proposed

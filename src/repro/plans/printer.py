@@ -1,0 +1,151 @@
+"""Plan-spec parsing and pretty printing.
+
+Plans are nested tuples internally; humans prefer text.  This module
+converts both ways:
+
+* :func:`parse_plan` — ``"((R ⋈ S) ⋈ T)"`` (or the ASCII ``*``/``|x|``
+  spellings) → the nested spec;
+* :func:`format_plan` — spec → the one-line infix form;
+* :func:`render_tree` — spec (or a physical plan) → a multi-line ASCII
+  tree, with per-state completeness annotations when given live operators.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.plans.spec import PlanSpec, is_leaf
+
+#: accepted join-symbol spellings, longest first so ``|x|`` wins over ``x``
+JOIN_TOKENS = ("⋈", "|x|", "*")
+
+
+def format_plan(spec: PlanSpec, join_symbol: str = "⋈") -> str:
+    """Render a spec as an infix expression, e.g. ``((R ⋈ S) ⋈ T)``."""
+    if is_leaf(spec):
+        return spec
+    left = format_plan(spec[0], join_symbol)
+    right = format_plan(spec[1], join_symbol)
+    return f"({left} {join_symbol} {right})"
+
+
+class _Parser:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+
+    def error(self, message: str):
+        raise ValueError(f"{message} at position {self.pos} in {self.text!r}")
+
+    def skip_ws(self) -> None:
+        while self.pos < len(self.text) and self.text[self.pos].isspace():
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def parse_expr(self) -> PlanSpec:
+        self.skip_ws()
+        left = self.parse_atom()
+        self.skip_ws()
+        while self.pos < len(self.text) and self.peek() != ")":
+            if not self.try_join_token():
+                self.error("expected a join symbol")
+            right = self.parse_atom()
+            left = (left, right)
+            self.skip_ws()
+        return left
+
+    def try_join_token(self) -> bool:
+        for token in JOIN_TOKENS:
+            if self.text.startswith(token, self.pos):
+                self.pos += len(token)
+                self.skip_ws()
+                return True
+        return False
+
+    def parse_atom(self) -> PlanSpec:
+        self.skip_ws()
+        if self.peek() == "(":
+            self.pos += 1
+            inner = self.parse_expr()
+            self.skip_ws()
+            if self.peek() != ")":
+                self.error("expected ')'")
+            self.pos += 1
+            return inner
+        start = self.pos
+        while self.pos < len(self.text) and (
+            self.text[self.pos].isalnum() or self.text[self.pos] in "_-"
+        ):
+            self.pos += 1
+        if self.pos == start:
+            self.error("expected a stream name")
+        return self.text[start : self.pos]
+
+
+def parse_plan(text: str) -> PlanSpec:
+    """Parse ``"((R ⋈ S) ⋈ T)"`` / ``"(R * S) * T"`` into a nested spec.
+
+    The join operator is left-associative, so ``"R * S * T"`` means
+    ``((R * S) * T)`` — the left-deep chain.
+    """
+    parser = _Parser(text)
+    spec = parser.parse_expr()
+    parser.skip_ws()
+    if parser.pos != len(text):
+        parser.error("trailing input")
+    return spec
+
+
+def render_tree(spec: PlanSpec, plan=None) -> str:
+    """Multi-line ASCII tree of a spec.
+
+    With ``plan`` (a :class:`~repro.plans.build.PhysicalPlan`), each
+    internal node is annotated with its state size and completeness —
+    the at-a-glance migration view::
+
+        ⋈ {R,S,T}  [12 entries, complete]
+        ├─ ⋈ {R,S}  [4 entries, INCOMPLETE pending=2]
+        │  ├─ R
+        │  └─ S
+        └─ T
+    """
+    lines: List[str] = []
+
+    def annotate(node: PlanSpec) -> str:
+        if is_leaf(node):
+            return node
+        from repro.plans.spec import membership
+
+        names = membership(node)
+        label = "⋈ {" + ",".join(sorted(names)) + "}"
+        if plan is not None:
+            op = plan.by_identity.get(("join", names)) or plan.by_identity.get(
+                ("setdiff", names)
+            )
+            if op is not None:
+                status = op.state.status
+                if status.complete:
+                    label += f"  [{len(op.state)} entries, complete]"
+                else:
+                    pending = (
+                        "?" if status.pending is None else str(len(status.pending))
+                    )
+                    label += f"  [{len(op.state)} entries, INCOMPLETE pending={pending}]"
+        return label
+
+    def walk(node: PlanSpec, prefix: str, is_last: Optional[bool]) -> None:
+        if is_last is None:
+            lines.append(annotate(node))
+            child_prefix = ""
+        else:
+            connector = "└─ " if is_last else "├─ "
+            lines.append(prefix + connector + annotate(node))
+            child_prefix = prefix + ("   " if is_last else "│  ")
+        if not is_leaf(node):
+            walk(node[0], child_prefix, False)
+            walk(node[1], child_prefix, True)
+
+    walk(spec, "", None)
+    return "\n".join(lines)

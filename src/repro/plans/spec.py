@@ -1,0 +1,99 @@
+"""Logical plan specifications.
+
+A spec is either a stream name (``str``, a leaf) or a 2-tuple of specs (a
+binary operator node).  This covers left-deep and bushy trees uniformly:
+
+* ``left_deep(("R", "S", "T"))`` → ``(("R", "S"), "T")`` — the plan
+  ``(R ⋈ S) ⋈ T`` of Figure 1;
+* ``(("R", "S"), ("T", "U"))`` — a bushy plan joining two pairs.
+
+Specs are pure data; the physical builder (``plans.build``) instantiates
+operators from them.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Sequence, Tuple, Union
+
+PlanSpec = Union[str, Tuple["PlanSpec", "PlanSpec"]]
+
+
+def is_leaf(spec: PlanSpec) -> bool:
+    return isinstance(spec, str)
+
+
+def left_deep(order: Sequence[str]) -> PlanSpec:
+    """Build the left-deep spec joining ``order`` bottom-up.
+
+    ``order[0]`` and ``order[1]`` form the leaf join; each further stream
+    joins on top (the paper's position labels 1..n, Section 5.2).
+    """
+    if len(order) < 2:
+        raise ValueError("a left-deep plan needs at least two streams")
+    spec: PlanSpec = order[0]
+    for name in order[1:]:
+        spec = (spec, name)
+    return spec
+
+
+def leaves(spec: PlanSpec) -> Iterator[str]:
+    """Stream names in left-to-right leaf order."""
+    if is_leaf(spec):
+        yield spec
+    else:
+        yield from leaves(spec[0])
+        yield from leaves(spec[1])
+
+
+def membership(spec: PlanSpec) -> FrozenSet[str]:
+    """Set of stream names covered by ``spec``."""
+    return frozenset(leaves(spec))
+
+
+def internal_nodes(spec: PlanSpec) -> Iterator[PlanSpec]:
+    """All binary nodes of ``spec``, post-order (children before parents)."""
+    if is_leaf(spec):
+        return
+    yield from internal_nodes(spec[0])
+    yield from internal_nodes(spec[1])
+    yield spec
+
+
+def memberships(spec: PlanSpec) -> List[FrozenSet[str]]:
+    """Memberships of all internal nodes, post-order.
+
+    These identify the plan's states for Definition 1 (see
+    ``plans.transitions.classify_states``).
+    """
+    return [membership(node) for node in internal_nodes(spec)]
+
+
+def validate_spec(spec: PlanSpec) -> FrozenSet[str]:
+    """Check that every stream appears exactly once; return the membership."""
+    seen = list(leaves(spec))
+    dupes = {s for s in seen if seen.count(s) > 1}
+    if dupes:
+        raise ValueError(f"streams appear more than once in plan: {sorted(dupes)}")
+    return frozenset(seen)
+
+
+def is_left_deep(spec: PlanSpec) -> bool:
+    """True iff every right child is a leaf (the chain shape of Figure 1)."""
+    if is_leaf(spec):
+        return True
+    left, right = spec
+    return is_leaf(right) and is_left_deep(left)
+
+
+def left_deep_order(spec: PlanSpec) -> Tuple[str, ...]:
+    """Recover the bottom-up stream order of a left-deep spec."""
+    if not is_left_deep(spec):
+        raise ValueError("spec is not left-deep")
+    return tuple(leaves(spec))
+
+
+def height(spec: PlanSpec) -> int:
+    """Height of the plan tree (leaf = 0)."""
+    if is_leaf(spec):
+        return 0
+    return 1 + max(height(spec[0]), height(spec[1]))

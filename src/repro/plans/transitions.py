@@ -1,0 +1,131 @@
+"""Plan-transition analysis.
+
+``classify_states`` implements Definition 1 with the Section 4.5 refinement
+for overlapped transitions: a state of the new plan is *complete* iff the
+old plan holds a state with the same identity **and** that state is itself
+complete; otherwise it is incomplete.
+
+The exchange helpers construct the transitions used throughout the paper's
+experiments (Section 6): the *best case* (a single incomplete state just
+below the root — Figures 5, 7 and 12) and the *worst case* (every
+intermediate state incomplete — Figures 8 and 11), plus the random pairwise
+exchange of the Section 5 analysis.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.plans.build import PhysicalPlan
+from repro.plans.spec import PlanSpec, internal_nodes, membership
+
+
+def classify_states(
+    new_spec: PlanSpec, old_plan: Optional[PhysicalPlan], kind: str = "join"
+) -> Dict[FrozenSet[str], bool]:
+    """Map each internal-node membership of ``new_spec`` to completeness.
+
+    ``old_plan is None`` means initial plan construction: everything is
+    complete (there is nothing to migrate).
+    """
+    result: Dict[FrozenSet[str], bool] = {}
+    for node in internal_nodes(new_spec):
+        mem = membership(node)
+        if old_plan is None:
+            result[mem] = True
+            continue
+        old_op = old_plan.by_identity.get((kind, mem))
+        # Section 4.5: an old state that is itself incomplete stays
+        # incomplete in the new plan.
+        result[mem] = old_op is not None and old_op.state.status.complete
+    return result
+
+
+def pairwise_exchange(order: Sequence[str], i: int, j: int) -> Tuple[str, ...]:
+    """Swap the streams at positions ``i`` and ``j`` of a left-deep order."""
+    out = list(order)
+    out[i], out[j] = out[j], out[i]
+    return tuple(out)
+
+
+def best_case_transition(order: Sequence[str]) -> Tuple[str, ...]:
+    """Swap the two top-most streams: exactly one incomplete state.
+
+    For order (A, B, C, D, E) this yields (A, B, C, E, D): the only changed
+    membership is the state just below the root ({A,B,C,E} instead of
+    {A,B,C,D}), matching Figure 5 / the "best case" of Figures 7 and 12.
+    """
+    if len(order) < 3:
+        raise ValueError("need at least three streams for a best-case swap")
+    return pairwise_exchange(order, len(order) - 2, len(order) - 1)
+
+
+def worst_case_transition(order: Sequence[str]) -> Tuple[str, ...]:
+    """Swap the second stream with the top stream: all states incomplete.
+
+    For order (A, B, C, D, E) this yields (A, E, C, D, B): every
+    intermediate membership changes ({A,E}, {A,E,C}, {A,E,C,D}); only the
+    root (all streams) stays complete — the "worst case" of Figures 8
+    and 11.
+    """
+    if len(order) < 3:
+        raise ValueError("need at least three streams for a worst-case swap")
+    return pairwise_exchange(order, 1, len(order) - 1)
+
+
+def incomplete_count(old_order: Sequence[str], new_order: Sequence[str]) -> int:
+    """Number of incomplete states after a left-deep → left-deep transition.
+
+    Counts new-plan internal memberships absent from the old plan (the root
+    membership is shared by construction).
+    """
+    old_members = set()
+    acc = set()
+    for name in old_order:
+        acc.add(name)
+        if len(acc) >= 2:
+            old_members.add(frozenset(acc))
+    count = 0
+    acc = set()
+    for name in new_order:
+        acc.add(name)
+        if len(acc) >= 2 and frozenset(acc) not in old_members:
+            count += 1
+    return count
+
+
+def random_exchange(
+    order: Sequence[str], rng: random.Random
+) -> Tuple[Tuple[str, ...], int, int]:
+    """Draw a pairwise exchange from the paper's triangular distribution.
+
+    Positions I < J over the join positions 1..n are drawn with probability
+    proportional to 1 / (J - I) (Section 5.2, Eq. 1).  In the stream order
+    of length n+1, join position p corresponds to ``order[p]`` (the stream
+    whose scan is the right child of the p-th join), and position 1 also
+    covers ``order[0]``; following the paper's labelling we swap streams at
+    list indices I and J.
+
+    Returns ``(new_order, i, j)``.
+    """
+    n = len(order) - 1  # number of joins / positions
+    if n < 2:
+        raise ValueError("need at least two join positions to exchange")
+    pairs: List[Tuple[int, int]] = []
+    weights: List[float] = []
+    for i in range(1, n):
+        for j in range(i + 1, n + 1):
+            pairs.append((i, j))
+            weights.append(1.0 / (j - i))
+    total = sum(weights)
+    u = rng.random() * total
+    acc = 0.0
+    chosen = pairs[-1]
+    for pair, w in zip(pairs, weights):
+        acc += w
+        if u <= acc:
+            chosen = pair
+            break
+    i, j = chosen
+    return pairwise_exchange(order, i, j), i, j

@@ -1,0 +1,36 @@
+"""Stream substrate: tuples, schemas, sliding windows, and workload generators.
+
+This package implements the data model of the paper's execution environment
+(Section 2.1): unbounded streams of tuples, count-based sliding windows, and
+the uniform synthetic workloads used throughout the experimental study
+(Section 6).
+"""
+
+from repro.streams.tuples import StreamTuple, CompositeTuple, lineage_key
+from repro.streams.schema import Schema, StreamDescriptor
+from repro.streams.window import SlidingWindow, TimeSlidingWindow
+from repro.streams.arrivals import PoissonArrivals, rate_at
+from repro.streams.generators import (
+    UniformWorkload,
+    ZipfWorkload,
+    interleave_round_robin,
+    interleave_random,
+    generate_chain_workload,
+)
+
+__all__ = [
+    "StreamTuple",
+    "CompositeTuple",
+    "lineage_key",
+    "Schema",
+    "StreamDescriptor",
+    "SlidingWindow",
+    "TimeSlidingWindow",
+    "PoissonArrivals",
+    "rate_at",
+    "UniformWorkload",
+    "ZipfWorkload",
+    "interleave_round_robin",
+    "interleave_random",
+    "generate_chain_workload",
+]

@@ -1,0 +1,185 @@
+"""Synthetic workload generators (Section 6).
+
+The paper's experiments "uniformly generate the data and uniformly distribute
+it across the different streams".  :class:`UniformWorkload` reproduces that:
+join-attribute values are drawn uniformly from an integer domain and tuples
+are dealt across streams (round-robin by default, which is exactly a uniform
+split, or randomly).  :class:`ZipfWorkload` adds a skewed option for
+robustness studies beyond the paper.
+
+All generators are seeded and fully deterministic, so every benchmark and
+property test is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Sequence
+
+from repro.streams.tuples import StreamTuple
+
+
+class UniformWorkload:
+    """Uniform keys dealt across streams.
+
+    Parameters
+    ----------
+    streams:
+        Stream names to deal tuples across.
+    n_tuples:
+        Total number of tuples across all streams.
+    key_domain:
+        Join-attribute values are drawn uniformly from ``range(key_domain)``.
+        With window size *W*, the expected number of matches per probe of a
+        base state is ``W / key_domain``; choosing ``key_domain == W`` gives
+        roughly one match per probe, which keeps multi-join output volumes
+        close to linear, as in the paper's setup.
+    seed:
+        PRNG seed.
+    interleave:
+        ``"round_robin"`` (uniform split, the paper's setting) or
+        ``"random"`` (uniform in expectation).
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[str],
+        n_tuples: int,
+        key_domain: int,
+        seed: int = 0,
+        interleave: str = "round_robin",
+    ):
+        if n_tuples < 0:
+            raise ValueError("n_tuples must be non-negative")
+        if key_domain <= 0:
+            raise ValueError("key_domain must be positive")
+        if interleave not in ("round_robin", "random"):
+            raise ValueError(f"unknown interleave mode: {interleave!r}")
+        if not streams:
+            raise ValueError("need at least one stream")
+        self.streams = tuple(streams)
+        self.n_tuples = n_tuples
+        self.key_domain = key_domain
+        self.seed = seed
+        self.interleave = interleave
+
+    def _keys(self, rng: random.Random) -> Iterator[int]:
+        for _ in range(self.n_tuples):
+            yield rng.randrange(self.key_domain)
+
+    def __iter__(self) -> Iterator[StreamTuple]:
+        rng = random.Random(self.seed)
+        names = self.streams
+        for seq, key in enumerate(self._keys(rng)):
+            if self.interleave == "round_robin":
+                stream = names[seq % len(names)]
+            else:
+                stream = names[rng.randrange(len(names))]
+            yield StreamTuple(stream, seq, key)
+
+    def materialize(self) -> List[StreamTuple]:
+        """Generate the full tuple list eagerly."""
+        return list(self)
+
+
+class ZipfWorkload(UniformWorkload):
+    """Zipf-skewed join keys; otherwise identical to :class:`UniformWorkload`.
+
+    Parameters are as in :class:`UniformWorkload`, plus ``skew`` (the Zipf
+    exponent; 0 degenerates to uniform).
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[str],
+        n_tuples: int,
+        key_domain: int,
+        skew: float = 1.0,
+        seed: int = 0,
+        interleave: str = "round_robin",
+    ):
+        super().__init__(streams, n_tuples, key_domain, seed, interleave)
+        if skew < 0:
+            raise ValueError("skew must be non-negative")
+        self.skew = skew
+
+    def _keys(self, rng: random.Random) -> Iterator[int]:
+        # Inverse-CDF sampling over a finite Zipf distribution.
+        weights = [1.0 / (rank + 1) ** self.skew for rank in range(self.key_domain)]
+        total = sum(weights)
+        cdf = []
+        acc = 0.0
+        for w in weights:
+            acc += w / total
+            cdf.append(acc)
+        for _ in range(self.n_tuples):
+            u = rng.random()
+            lo, hi = 0, self.key_domain - 1
+            while lo < hi:
+                mid = (lo + hi) // 2
+                if cdf[mid] < u:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            yield lo
+
+
+def interleave_round_robin(
+    per_stream: dict[str, Iterable[int]],
+) -> List[StreamTuple]:
+    """Merge per-stream key sequences into one arrival order, round-robin.
+
+    Useful in tests that need precise control of which key arrives on which
+    stream and in what global order.
+    """
+    iters = {name: iter(keys) for name, keys in per_stream.items()}
+    order = list(per_stream)
+    out: List[StreamTuple] = []
+    seq = 0
+    live = set(order)
+    while live:
+        for name in order:
+            if name not in live:
+                continue
+            try:
+                key = next(iters[name])
+            except StopIteration:
+                live.discard(name)
+                continue
+            out.append(StreamTuple(name, seq, key))
+            seq += 1
+    return out
+
+
+def interleave_random(
+    per_stream: dict[str, Sequence[int]], seed: int = 0
+) -> List[StreamTuple]:
+    """Merge per-stream key sequences in a random (seeded) arrival order."""
+    rng = random.Random(seed)
+    pending = {name: list(keys) for name, keys in per_stream.items() if keys}
+    out: List[StreamTuple] = []
+    seq = 0
+    while pending:
+        name = rng.choice(sorted(pending))
+        key = pending[name].pop(0)
+        out.append(StreamTuple(name, seq, key))
+        seq += 1
+        if not pending[name]:
+            del pending[name]
+    return out
+
+
+def generate_chain_workload(
+    n_streams: int,
+    n_tuples: int,
+    key_domain: int,
+    seed: int = 0,
+    prefix: str = "S",
+) -> tuple[tuple[str, ...], List[StreamTuple]]:
+    """Convenience: names ``S0..S{n-1}`` plus a uniform round-robin workload.
+
+    Returns ``(stream_names, tuples)``.
+    """
+    names = tuple(f"{prefix}{i}" for i in range(n_streams))
+    workload = UniformWorkload(names, n_tuples, key_domain, seed=seed)
+    return names, workload.materialize()

@@ -1,0 +1,157 @@
+"""Tuple data model.
+
+Two tuple kinds flow through a query execution plan (QEP):
+
+* :class:`StreamTuple` — a base tuple received from one input stream.  It
+  carries the stream name, a global arrival sequence number, the join
+  attribute value, and an optional payload of additional attributes.
+
+* :class:`CompositeTuple` — an intermediate or final join result.  It records
+  its *lineage*: the exact set of base tuples it was assembled from.  Lineage
+  is what makes window expiry (Section 2.1), duplicate elimination in the
+  Parallel Track strategy (Section 3.3), and the correctness test oracle
+  (Appendix, Theorems 1-3) possible.
+
+The paper's model (Section 5.2 and the experiments of Section 6) is a
+multi-way equi-join over a common join attribute (called *ID* in Section 4):
+only such queries admit arbitrary join reorderings, which is what plan
+migration exercises.  Both tuple kinds therefore expose a single ``key``
+holding the join attribute value.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Optional, Tuple
+
+
+class StreamTuple:
+    """A base tuple arriving on one input stream.
+
+    Parameters
+    ----------
+    stream:
+        Name of the stream this tuple arrived on (e.g. ``"R"``).
+    seq:
+        Global arrival sequence number.  Sequence numbers are assigned by the
+        workload (or the executor) in arrival order across *all* streams and
+        double as logical timestamps.
+    key:
+        Value of the join attribute (the paper's *ID*).
+    payload:
+        Optional extra attributes; opaque to the engine.
+    """
+
+    __slots__ = ("stream", "seq", "key", "payload")
+
+    def __init__(self, stream: str, seq: int, key: Any, payload: Any = None):
+        self.stream = stream
+        self.seq = seq
+        self.key = key
+        self.payload = payload
+
+    @property
+    def lineage(self) -> Tuple[Tuple[str, int], ...]:
+        """Lineage of a base tuple: itself."""
+        return ((self.stream, self.seq),)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"StreamTuple({self.stream}#{self.seq}, key={self.key!r})"
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, StreamTuple)
+            and self.stream == other.stream
+            and self.seq == other.seq
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.stream, self.seq))
+
+
+class CompositeTuple:
+    """A join result assembled from base tuples of distinct streams.
+
+    ``parts`` maps stream name to the constituent :class:`StreamTuple`.  All
+    constituents share the same join attribute value in the common-key model,
+    so the composite's ``key`` equals each part's ``key``.
+    """
+
+    __slots__ = ("key", "parts", "_lineage")
+
+    def __init__(self, key: Any, parts: Tuple[StreamTuple, ...]):
+        self.key = key
+        self.parts = parts
+        self._lineage: Optional[Tuple[Tuple[str, int], ...]] = None
+
+    @classmethod
+    def of(cls, *tuples: "StreamTuple | CompositeTuple") -> "CompositeTuple":
+        """Combine base and/or composite tuples into one composite.
+
+        All inputs must share the same join key; the result's parts are the
+        union of the inputs' constituent base tuples.
+        """
+        parts: list[StreamTuple] = []
+        key = tuples[0].key
+        for t in tuples:
+            if isinstance(t, CompositeTuple):
+                parts.extend(t.parts)
+            else:
+                parts.append(t)
+        parts.sort(key=lambda p: p.stream)
+        return cls(key, tuple(parts))
+
+    @property
+    def lineage(self) -> Tuple[Tuple[str, int], ...]:
+        """Sorted tuple of ``(stream, seq)`` pairs identifying constituents."""
+        if self._lineage is None:
+            self._lineage = tuple(sorted((p.stream, p.seq) for p in self.parts))
+        return self._lineage
+
+    @property
+    def streams(self) -> frozenset:
+        """The set of stream names this composite covers."""
+        return frozenset(p.stream for p in self.parts)
+
+    def part(self, stream: str) -> StreamTuple:
+        """Return the constituent base tuple from ``stream``.
+
+        Raises ``KeyError`` if this composite has no part from that stream.
+        """
+        for p in self.parts:
+            if p.stream == stream:
+                return p
+        raise KeyError(stream)
+
+    def max_seq(self) -> int:
+        """Largest constituent arrival sequence (the composite's birth time)."""
+        return max(p.seq for p in self.parts)
+
+    def min_seq(self) -> int:
+        """Smallest constituent arrival sequence (the oldest part's age)."""
+        return min(p.seq for p in self.parts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        names = ",".join(f"{p.stream}#{p.seq}" for p in self.parts)
+        return f"CompositeTuple(key={self.key!r}, [{names}])"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, CompositeTuple) and self.lineage == other.lineage
+
+    def __hash__(self) -> int:
+        return hash(self.lineage)
+
+
+def lineage_key(tup: "StreamTuple | CompositeTuple") -> Tuple[Tuple[str, int], ...]:
+    """Canonical identity of any tuple: its sorted constituent lineage.
+
+    Used as the duplicate-elimination key by the Parallel Track strategy and
+    by the test oracle when comparing output multisets across strategies.
+    """
+    return tup.lineage
+
+
+def parts_of(tup: "StreamTuple | CompositeTuple") -> Iterable[StreamTuple]:
+    """Iterate over the base tuples a (possibly base) tuple is built from."""
+    if isinstance(tup, CompositeTuple):
+        return tup.parts
+    return (tup,)

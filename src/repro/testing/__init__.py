@@ -1,0 +1,11 @@
+"""Testing utilities: independent reference semantics.
+
+:mod:`repro.testing.naive` computes the expected output of a windowed
+multi-way equi-join (or set-difference chain) from first principles,
+without any operator machinery — an oracle that shares no code with the
+engine, used by the test suite to validate the validators.
+"""
+
+from repro.testing.naive import NaiveJoinOracle, NaiveSetDifferenceOracle
+
+__all__ = ["NaiveJoinOracle", "NaiveSetDifferenceOracle"]

@@ -1,0 +1,138 @@
+"""First-principles reference semantics (no operator machinery).
+
+These oracles define what a windowed continuous query *means*, directly:
+
+* :class:`NaiveJoinOracle` — an n-way equi-join over count-based sliding
+  windows emits, on each arrival, one result per combination of matching
+  tuples currently in the other streams' windows.
+
+* :class:`NaiveSetDifferenceOracle` — a chain ``A - B - C - ...`` emits an
+  outer tuple when it is in the difference and not currently emitted:
+  at arrival (if no live inner matches), and — under the reappearance
+  semantics — again whenever its last live suppressor expires.
+
+They share no code with the engine, so agreement between an engine
+executor and an oracle is genuine evidence, not a tautology.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from itertools import product
+from typing import Deque, Dict, List, Sequence, Tuple
+
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+Part = Tuple[str, int]
+Lineage = Tuple[Part, ...]
+
+
+class NaiveJoinOracle:
+    """Brute-force windowed multi-way equi-join."""
+
+    def __init__(self, schema: Schema, streams: Sequence[str]):
+        self.schema = schema
+        self.streams = tuple(streams)
+        self.windows: Dict[str, Deque[StreamTuple]] = {
+            name: deque() for name in self.streams
+        }
+        self.outputs: List[Lineage] = []
+
+    def process(self, tup: StreamTuple) -> None:
+        window = self.windows[tup.stream]
+        window.append(tup)
+        if len(window) > self.schema.window_of(tup.stream):
+            window.popleft()
+        others = [name for name in self.streams if name != tup.stream]
+        # one result per combination of matching live tuples, one per stream
+        candidate_lists = []
+        for name in others:
+            matching = [t for t in self.windows[name] if t.key == tup.key]
+            if not matching:
+                return
+            candidate_lists.append(matching)
+        for combo in product(*candidate_lists):
+            lineage = tuple(
+                sorted([(tup.stream, tup.seq)] + [(t.stream, t.seq) for t in combo])
+            )
+            self.outputs.append(lineage)
+
+    def output_lineages(self) -> List[Lineage]:
+        return list(self.outputs)
+
+
+class NaiveSetDifferenceOracle:
+    """Brute-force windowed set-difference chain ``outer - inners...``."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        outer: str,
+        inners: Sequence[str],
+        reappear_on_inner_expiry: bool = True,
+    ):
+        self.schema = schema
+        self.outer = outer
+        self.inners = tuple(inners)
+        self.reappear = reappear_on_inner_expiry
+        self.windows: Dict[str, Deque[StreamTuple]] = {
+            name: deque() for name in (outer, *inners)
+        }
+        # (stream, seq) of live outer tuples currently emitted ("in the
+        # difference"); under monotone semantics, once out, always out.
+        self._emitted_now: Dict[Part, StreamTuple] = {}
+        self._suppressed_forever: set = set()
+        self.outputs: List[Lineage] = []
+
+    def _live_suppressors(self, key, exclude: StreamTuple = None) -> int:
+        return sum(
+            1
+            for name in self.inners
+            for t in self.windows[name]
+            if t.key == key and t is not exclude
+        )
+
+    def process(self, tup: StreamTuple) -> None:
+        window = self.windows[tup.stream]
+        evicted = None
+        window.append(tup)
+        if len(window) > self.schema.window_of(tup.stream):
+            evicted = window.popleft()
+
+        if tup.stream == self.outer:
+            if evicted is not None:
+                self._emitted_now.pop((evicted.stream, evicted.seq), None)
+                self._suppressed_forever.discard((evicted.stream, evicted.seq))
+            if self._live_suppressors(tup.key) == 0:
+                self.outputs.append(((tup.stream, tup.seq),))
+                self._emitted_now[(tup.stream, tup.seq)] = tup
+            elif not self.reappear:
+                self._suppressed_forever.add((tup.stream, tup.seq))
+            return
+
+        # inner arrival: the eviction may release outer tuples ...  (the
+        # just-arrived inner is excluded: the engine processes the eviction
+        # before the arrival is inserted, so a release can be immediately
+        # followed by a fresh suppression — emitting, then retracting)
+        if evicted is not None and self.reappear:
+            for outer_tup in self.windows[self.outer]:
+                part = (outer_tup.stream, outer_tup.seq)
+                if (
+                    outer_tup.key == evicted.key
+                    and part not in self._emitted_now
+                    and part not in self._suppressed_forever
+                    and self._live_suppressors(outer_tup.key, exclude=tup) == 0
+                ):
+                    self.outputs.append((part,))
+                    self._emitted_now[part] = outer_tup
+        # ... and the new inner suppresses matching outers.
+        for outer_tup in list(self._emitted_now.values()):
+            if outer_tup.key == tup.key:
+                part = (outer_tup.stream, outer_tup.seq)
+                del self._emitted_now[part]
+                if not self.reappear:
+                    self._suppressed_forever.add(part)
+
+    def output_lineages(self) -> List[Lineage]:
+        return list(self.outputs)

@@ -1,0 +1,19 @@
+"""Experiment-grade workload scenarios for the Section 6 reproduction."""
+
+from repro.workloads.drift import SelectivityDriftWorkload
+from repro.workloads.scenarios import (
+    ChainScenario,
+    chain_scenario,
+    migration_stage_events,
+    frequency_events,
+    swap_for_case,
+)
+
+__all__ = [
+    "ChainScenario",
+    "chain_scenario",
+    "migration_stage_events",
+    "frequency_events",
+    "swap_for_case",
+    "SelectivityDriftWorkload",
+]

@@ -1,0 +1,89 @@
+"""Workloads with drifting value distributions.
+
+The optimize-at-runtime motivation (Section 1): a join order chosen from
+initial statistics becomes suboptimal because the streams' *value
+distributions* drift.  :class:`SelectivityDriftWorkload` formalizes the
+pattern used by the examples: the workload runs in phases; in each phase
+one designated stream draws its keys from a much larger domain, making
+probes against it miss (i.e. making its join the most selective one).  A
+well-behaved adaptive system reorders the plan once per phase change.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Sequence, Tuple
+
+from repro.streams.tuples import StreamTuple
+
+
+class SelectivityDriftWorkload:
+    """Phase-based key-distribution drift across streams.
+
+    Parameters
+    ----------
+    streams:
+        Stream names; tuples are dealt round-robin.
+    phases:
+        ``[(n_tuples, selective_stream), ...]`` — in each phase the named
+        stream scatters its keys over ``base_domain * scatter`` values
+        while the others use ``base_domain``.
+    base_domain:
+        The hot key domain shared by non-selective streams.
+    scatter:
+        Domain inflation factor for the selective stream.
+    """
+
+    def __init__(
+        self,
+        streams: Sequence[str],
+        phases: Sequence[Tuple[int, str]],
+        base_domain: int = 50,
+        scatter: int = 20,
+        seed: int = 0,
+    ):
+        if not streams:
+            raise ValueError("need at least one stream")
+        if not phases:
+            raise ValueError("need at least one phase")
+        for _, selective in phases:
+            if selective not in streams:
+                raise ValueError(f"unknown selective stream {selective!r}")
+        if base_domain <= 0 or scatter <= 1:
+            raise ValueError("base_domain must be positive and scatter > 1")
+        self.streams = tuple(streams)
+        self.phases = list(phases)
+        self.base_domain = base_domain
+        self.scatter = scatter
+        self.seed = seed
+
+    def materialize(self) -> List[StreamTuple]:
+        rng = random.Random(self.seed)
+        out: List[StreamTuple] = []
+        seq = 0
+        for length, selective in self.phases:
+            for _ in range(length):
+                stream = self.streams[seq % len(self.streams)]
+                if stream == selective:
+                    key = rng.randrange(self.base_domain * self.scatter)
+                else:
+                    key = rng.randrange(self.base_domain)
+                out.append(StreamTuple(stream, seq, key))
+                seq += 1
+        return out
+
+    def phase_boundaries(self) -> List[int]:
+        """Global tuple indices at which each phase begins (first is 0)."""
+        bounds = [0]
+        for length, _ in self.phases[:-1]:
+            bounds.append(bounds[-1] + length)
+        return bounds
+
+    def expected_selective_stream(self, index: int) -> str:
+        """Which stream is the selective one at tuple ``index``."""
+        position = 0
+        for length, selective in self.phases:
+            position += length
+            if index < position:
+                return selective
+        raise IndexError(f"tuple index {index} beyond the workload")

@@ -1,0 +1,103 @@
+"""Scenario builders mirroring the paper's experimental setup (Section 6).
+
+The paper generates uniform data dealt uniformly across the streams of a
+chain query with a given number of joins, forces plan transitions at fixed
+points, and compares strategies on the same tuple sequence.  These helpers
+produce exactly those event sequences, scaled by the caller (see
+EXPERIMENTS.md for the scale mapping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from repro.engine.executor import Event, interleave_transitions
+from repro.plans.transitions import best_case_transition, worst_case_transition
+from repro.streams.generators import UniformWorkload
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@dataclass(frozen=True)
+class ChainScenario:
+    """A chain query workload: schema, initial order, and the tuple stream."""
+
+    schema: Schema
+    order: Tuple[str, ...]
+    tuples: Tuple[StreamTuple, ...]
+
+    @property
+    def n_joins(self) -> int:
+        return len(self.order) - 1
+
+
+def chain_scenario(
+    n_joins: int,
+    n_tuples: int,
+    window: int,
+    key_domain: int = 0,
+    seed: int = 0,
+) -> ChainScenario:
+    """Uniform chain workload over ``n_joins + 1`` streams.
+
+    ``key_domain`` defaults to the window size, giving roughly one match
+    per probe (the scaling note in :class:`UniformWorkload`).
+    """
+    if n_joins < 2:
+        raise ValueError("chain scenarios need at least two joins")
+    names = tuple(f"S{i}" for i in range(n_joins + 1))
+    domain = key_domain or window
+    schema = Schema.uniform(names, window)
+    tuples = tuple(UniformWorkload(names, n_tuples, domain, seed=seed))
+    return ChainScenario(schema, names, tuples)
+
+
+def swap_for_case(order: Sequence[str], case: str) -> Tuple[str, ...]:
+    """The transition target for the paper's best/worst cases.
+
+    * ``"best"`` — one incomplete state just below the root (Figures 5, 7, 12);
+    * ``"worst"`` — every intermediate state incomplete (Figures 8, 11).
+    """
+    if case == "best":
+        return best_case_transition(order)
+    if case == "worst":
+        return worst_case_transition(order)
+    raise ValueError(f"unknown case {case!r} (expected 'best' or 'worst')")
+
+
+def migration_stage_events(
+    scenario: ChainScenario, warmup: int, case: str = "best"
+) -> List[Event]:
+    """Warm up, force one transition, then stream the remaining tuples.
+
+    Mirrors Section 6.1: "we force a plan transition while executing the
+    queries after processing [the warm-up] tuples" and keep processing so
+    the migration stage can be measured.
+    """
+    if not 0 < warmup < len(scenario.tuples):
+        raise ValueError("warmup must fall inside the tuple stream")
+    new_order = swap_for_case(scenario.order, case)
+    return interleave_transitions(list(scenario.tuples), [(warmup, new_order)])
+
+
+def frequency_events(
+    scenario: ChainScenario, period: int, case: str = "best"
+) -> List[Event]:
+    """Force a transition every ``period`` tuples (Section 6.4).
+
+    Transitions alternate between the swapped order and the original one,
+    so every transition creates fresh incomplete states of the requested
+    case; with small periods the transitions overlap (Section 4.5).
+    """
+    if period <= 0:
+        raise ValueError("period must be positive")
+    swapped = swap_for_case(scenario.order, case)
+    transitions = []
+    flip = True
+    pos = period
+    while pos < len(scenario.tuples):
+        transitions.append((pos, swapped if flip else scenario.order))
+        flip = not flip
+        pos += period
+    return interleave_transitions(list(scenario.tuples), transitions)

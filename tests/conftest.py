@@ -1,0 +1,11 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.engine.cost import VirtualClock
+from repro.engine.metrics import Metrics
+
+
+@pytest.fixture
+def metrics() -> Metrics:
+    return Metrics(clock=VirtualClock())

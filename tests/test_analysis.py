@@ -1,0 +1,119 @@
+"""Tests for the Section 5 analysis: Propositions 1-3."""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis.concentration import (
+    alpha_n,
+    chebyshev_bound,
+    exchange_pmf,
+    expected_complete_asymptotic,
+    expected_complete_states,
+    harmonic,
+    monte_carlo_summary,
+    sample_complete_states,
+    sample_exchange_distance,
+    variance_complete_asymptotic,
+    variance_complete_states,
+)
+
+
+def test_harmonic_small_values():
+    assert harmonic(1) == 1.0
+    assert harmonic(2) == pytest.approx(1.5)
+    assert harmonic(4) == pytest.approx(1 + 0.5 + 1 / 3 + 0.25)
+    with pytest.raises(ValueError):
+        harmonic(0)
+
+
+def test_harmonic_asymptotics():
+    n = 100_000
+    gamma = 0.5772156649
+    assert harmonic(n) == pytest.approx(math.log(n) + gamma, abs=1e-4)
+
+
+def test_alpha_n_normalizes_pmf():
+    for n in (2, 5, 12):
+        pmf = exchange_pmf(n)
+        assert sum(pmf.values()) == pytest.approx(1.0)
+
+
+def test_pmf_triangular_shape():
+    pmf = exchange_pmf(6)
+    # closer pairs are more likely
+    assert pmf[(1, 2)] > pmf[(1, 4)] > pmf[(1, 6)]
+    # equal distances share probability
+    assert pmf[(1, 3)] == pytest.approx(pmf[(2, 4)])
+
+
+def test_expected_complete_states_matches_first_principles():
+    # E[C_n] = n - sum (j - i) P(i, j) computed from the raw pmf.
+    for n in (3, 7, 15):
+        pmf = exchange_pmf(n)
+        brute = n - sum((j - i) * p for (i, j), p in pmf.items())
+        assert expected_complete_states(n) == pytest.approx(brute)
+
+
+def test_variance_complete_states_matches_first_principles():
+    for n in (3, 7, 15):
+        pmf = exchange_pmf(n)
+        mean_d = sum((j - i) * p for (i, j), p in pmf.items())
+        var = sum((j - i) ** 2 * p for (i, j), p in pmf.items()) - mean_d**2
+        assert variance_complete_states(n) == pytest.approx(var)
+
+
+def test_proposition2_asymptotics_converge():
+    # The relative error of the leading-order forms shrinks with n.
+    err_small = abs(
+        expected_complete_states(50) - expected_complete_asymptotic(50)
+    ) / expected_complete_states(50)
+    err_large = abs(
+        expected_complete_states(5000) - expected_complete_asymptotic(5000)
+    ) / expected_complete_states(5000)
+    assert err_large < err_small
+    v_small = variance_complete_states(50) / variance_complete_asymptotic(50)
+    v_large = variance_complete_states(5000) / variance_complete_asymptotic(5000)
+    assert abs(v_large - 1) < abs(v_small - 1)
+
+
+def test_proposition3_concentration_bound_decreases():
+    # Prob(|C_n/E[C_n] - 1| > eps) = O(1/ln n) -> 0.
+    bounds = [chebyshev_bound(n, 0.25) for n in (10, 100, 1000, 100_000)]
+    assert bounds == sorted(bounds, reverse=True)
+    assert bounds[-1] < 0.5
+
+
+def test_chebyshev_bound_rejects_bad_epsilon():
+    with pytest.raises(ValueError):
+        chebyshev_bound(10, 0)
+
+
+def test_sample_distance_in_range():
+    rng = random.Random(0)
+    for _ in range(500):
+        d = sample_exchange_distance(20, rng)
+        assert 1 <= d <= 19
+
+
+def test_monte_carlo_matches_exact_mean_and_variance():
+    s = monte_carlo_summary(30, trials=40_000, seed=7)
+    assert s["empirical_mean"] == pytest.approx(s["exact_mean"], rel=0.02)
+    assert s["empirical_variance"] == pytest.approx(s["exact_variance"], rel=0.05)
+
+
+def test_complete_states_ratio_grows_with_n():
+    # C_n / n -> 1: the sampled ratio should increase with n.
+    r = []
+    for n in (10, 100, 1000):
+        samples = sample_complete_states(n, 5000, seed=3)
+        r.append(sum(samples) / (len(samples) * n))
+    assert r[0] < r[1] < r[2]
+    assert r[2] > 0.9
+
+
+def test_sample_complete_states_deterministic_by_seed():
+    assert sample_complete_states(12, 100, seed=5) == sample_complete_states(
+        12, 100, seed=5
+    )

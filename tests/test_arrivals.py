@@ -1,0 +1,101 @@
+"""Tests for the Poisson arrival simulator."""
+
+import pytest
+
+from repro.streams.arrivals import PoissonArrivals, rate_at
+
+
+def test_rate_at_constant():
+    assert rate_at(2.5, 100.0) == 2.5
+
+
+def test_rate_at_piecewise():
+    spec = [(0.0, 1.0), (10.0, 5.0), (20.0, 0.5)]
+    assert rate_at(spec, 0.0) == 1.0
+    assert rate_at(spec, 9.99) == 1.0
+    assert rate_at(spec, 10.0) == 5.0
+    assert rate_at(spec, 25.0) == 0.5
+
+
+def test_rate_at_uncovered_time_raises():
+    with pytest.raises(ValueError):
+        rate_at([(5.0, 1.0)], 1.0)
+
+
+def test_deterministic_by_seed():
+    gen = lambda: PoissonArrivals({"R": 1.0, "S": 2.0}, 200, seed=3).materialize()
+    a, b = gen(), gen()
+    assert [(t.stream, t.key) for t in a] == [(t.stream, t.key) for t in b]
+
+
+def test_sequence_numbers_follow_merged_time_order():
+    tuples = PoissonArrivals({"R": 1.0, "S": 1.0}, 300, seed=1).materialize()
+    assert [t.seq for t in tuples] == list(range(300))
+    times = [t.payload["ts"] for t in tuples]
+    assert times == sorted(times)
+
+
+def test_rate_ratio_respected():
+    tuples = PoissonArrivals({"fast": 9.0, "slow": 1.0}, 5000, seed=2).materialize()
+    fast = sum(1 for t in tuples if t.stream == "fast")
+    assert 0.85 < fast / 5000 < 0.95  # ~90% of arrivals
+
+
+def test_piecewise_rate_shift_changes_mix():
+    # 'bursty' is slow before t=50 and 10x faster after.
+    arrivals = PoissonArrivals(
+        {"steady": 1.0, "bursty": [(0.0, 0.2), (50.0, 10.0)]}, 4000, seed=4
+    )
+    tuples = arrivals.materialize()
+    early = [t for t in tuples if t.payload["ts"] < 50.0]
+    late = [t for t in tuples if t.payload["ts"] >= 50.0]
+    early_share = sum(1 for t in early if t.stream == "bursty") / max(len(early), 1)
+    late_share = sum(1 for t in late if t.stream == "bursty") / max(len(late), 1)
+    assert early_share < 0.4
+    assert late_share > 0.8
+
+
+def test_per_stream_key_domains():
+    tuples = PoissonArrivals(
+        {"R": 1.0, "S": 1.0},
+        500,
+        key_domain={"R": 5, "S": lambda rng: 100 + rng.randrange(3)},
+        seed=5,
+    ).materialize()
+    r_keys = {t.key for t in tuples if t.stream == "R"}
+    s_keys = {t.key for t in tuples if t.stream == "S"}
+    assert r_keys <= set(range(5))
+    assert s_keys <= {100, 101, 102}
+
+
+def test_observed_rates():
+    arr = PoissonArrivals({"R": 4.0, "S": 1.0}, 4000, seed=6)
+    tuples = arr.materialize()
+    observed = arr.observed_rates(tuples)
+    assert observed["R"] == pytest.approx(4.0, rel=0.15)
+    assert observed["S"] == pytest.approx(1.0, rel=0.2)
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        PoissonArrivals({}, 10)
+    with pytest.raises(ValueError):
+        PoissonArrivals({"R": 0.0}, 10)
+    with pytest.raises(ValueError):
+        PoissonArrivals({"R": [(1.0, 2.0)]}, 10)  # must start at 0
+    with pytest.raises(ValueError):
+        PoissonArrivals({"R": [(0.0, -1.0)]}, 10)
+    with pytest.raises(ValueError):
+        PoissonArrivals({"R": 1.0}, -1)
+
+
+def test_feeds_engine_directly():
+    from repro.migration.jisc import JISCStrategy
+    from repro.streams.schema import Schema
+
+    tuples = PoissonArrivals({"R": 1.0, "S": 1.0, "T": 1.0}, 600, key_domain=20, seed=7).materialize()
+    schema = Schema.uniform(["R", "S", "T"], window=30)
+    st = JISCStrategy(schema, ("R", "S", "T"))
+    for tup in tuples:
+        st.process(tup)
+    assert len(st.outputs) > 0

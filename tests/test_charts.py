@@ -1,0 +1,50 @@
+"""Tests for the terminal chart renderer."""
+
+from repro.experiments.charts import bar_chart, line_chart, speedup_chart
+
+
+def test_bar_chart_scales_to_peak():
+    out = bar_chart([("a", 10), ("b", 20)], width=10)
+    lines = out.splitlines()
+    assert lines[0].count("█") == 5
+    assert lines[1].count("█") == 10
+    assert "20" in lines[1]
+
+
+def test_bar_chart_zero_and_empty():
+    assert "(no data)" in bar_chart([])
+    out = bar_chart([("a", 0.0)], width=10)
+    assert "█" not in out
+
+
+def test_bar_chart_aligns_labels():
+    out = bar_chart([("short", 1), ("much-longer", 2)], width=5)
+    lines = out.splitlines()
+    bar_cols = {line.index("█") for line in lines}
+    assert len(bar_cols) == 1  # bars start in the same column
+
+
+def test_line_chart_renders_all_series():
+    out = line_chart(
+        {"up": [(0, 0), (1, 1), (2, 2)], "down": [(0, 2), (1, 1), (2, 0)]},
+        width=20,
+        height=8,
+    )
+    assert "*" in out and "o" in out
+    assert "up" in out and "down" in out
+    assert "x: 0" in out
+
+
+def test_line_chart_empty():
+    assert "(no data)" in line_chart({})
+
+
+def test_line_chart_flat_series_does_not_crash():
+    out = line_chart({"flat": [(0, 5), (10, 5)]}, width=12, height=4)
+    assert "flat" in out
+
+
+def test_speedup_chart_uses_shared_keys_only():
+    out = speedup_chart({4: 100.0, 8: 400.0}, {4: 50.0, 8: 50.0, 12: 1.0})
+    assert "2" in out and "8" in out.splitlines()[-1] or "8" in out
+    assert "12" not in out

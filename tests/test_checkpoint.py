@@ -1,0 +1,179 @@
+"""Checkpoint/restore round-trip tests.
+
+The gold standard: a strategy checkpointed at any point — including in the
+middle of a migration, with incomplete states and settled-value memos in
+flight — must, after a restore (through a real JSON round trip), produce
+exactly the same continuation output as the uninterrupted original.
+"""
+
+import json
+
+import pytest
+
+from tests.helpers import make_tuples
+from repro.engine.checkpoint import checkpoint_strategy, restore_strategy
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+from repro.workloads.scenarios import chain_scenario, swap_for_case
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T", "U"], window=12)
+
+
+ORDER = ("R", "S", "T", "U")
+
+
+def feed(strategy, tuples):
+    for tup in tuples:
+        strategy.process(tup)
+
+
+def roundtrip(strategy):
+    blob = json.dumps(checkpoint_strategy(strategy))
+    return restore_strategy(json.loads(blob))
+
+
+def continuation_outputs(strategy, tuples):
+    before = len(strategy.outputs)
+    feed(strategy, tuples)
+    return sorted(t.lineage for t in strategy.outputs[before:])
+
+
+def test_roundtrip_preserves_windows_and_states(schema):
+    st = JISCStrategy(schema, ORDER)
+    feed(st, make_tuples([(s, k % 3) for k in range(6) for s in ORDER]))
+    restored = roundtrip(st)
+    for name in ORDER:
+        assert [t.seq for t in restored.plan.scans[name].window] == [
+            t.seq for t in st.plan.scans[name].window
+        ]
+    for op in st.plan.internal:
+        other = restored.plan.state_of(op.membership)
+        assert sorted(e.lineage for e in other.entries()) == sorted(
+            e.lineage for e in op.state.entries()
+        )
+
+
+def test_continuation_matches_uninterrupted_run(schema):
+    tuples = make_tuples([(s, k % 4) for k in range(20) for s in ORDER])
+    head, tail = tuples[:48], tuples[48:]
+
+    original = JISCStrategy(schema, ORDER)
+    feed(original, head)
+    restored = roundtrip(original)
+
+    assert continuation_outputs(original, tail) == continuation_outputs(
+        restored, tail
+    )
+
+
+def test_mid_migration_checkpoint(schema):
+    tuples = make_tuples([(s, k % 4) for k in range(20) for s in ORDER])
+    head, tail = tuples[:40], tuples[40:]
+
+    original = JISCStrategy(schema, ORDER)
+    feed(original, head)
+    original.transition(swap_for_case(ORDER, "worst"))
+    feed(original, tail[:8])  # some values completed, others still pending
+    assert original.incomplete_state_count() > 0
+
+    restored = roundtrip(original)
+    assert restored.incomplete_state_count() == original.incomplete_state_count()
+    # pending sets survive exactly
+    for op in original.plan.internal:
+        other = restored.plan.state_of(op.membership)
+        assert other.status.complete == op.state.status.complete
+        assert other.status.pending == op.state.status.pending
+
+    rest = tail[8:]
+    assert continuation_outputs(original, rest) == continuation_outputs(
+        restored, rest
+    )
+
+
+def test_mid_migration_continuation_equals_static_oracle(schema):
+    sc = chain_scenario(3, 1200, 15, seed=44)
+    swapped = swap_for_case(sc.order, "worst")
+    ref = StaticPlanExecutor(sc.schema, sc.order)
+    feed(ref, sc.tuples)
+
+    st = JISCStrategy(sc.schema, sc.order)
+    feed(st, sc.tuples[:500])
+    st.transition(swapped)
+    feed(st, sc.tuples[500:560])
+    restored = roundtrip(st)
+    pre_checkpoint = len(st.outputs)
+    feed(restored, sc.tuples[560:])
+    feed(st, sc.tuples[560:])
+    # The restored run reproduces the continuation exactly ...
+    assert sorted(restored.output_lineages()) == sorted(
+        t.lineage for t in st.outputs[pre_checkpoint:]
+    )
+    # ... and the original (checkpointed mid-migration) matches the
+    # never-migrating oracle over the whole history.
+    assert sorted(st.output_lineages()) == sorted(ref.output_lineages())
+
+
+def test_freshness_survives_roundtrip(schema):
+    st = JISCStrategy(schema, ORDER)
+    feed(st, make_tuples([("S", 1), ("T", 1), ("U", 1)]))
+    st.transition(swap_for_case(ORDER, "worst"))
+    feed(st, [StreamTuple("R", 10, 1)])  # value 1 now attempted on R
+    restored = roundtrip(st)
+    assert restored.controller.freshness.check(StreamTuple("R", 11, 1)) is False
+    assert restored.controller.freshness.check(StreamTuple("R", 11, 2)) is True
+
+
+def test_settled_memo_survives_roundtrip(schema):
+    st = JISCStrategy(schema, ORDER)
+    feed(st, make_tuples([("S", 1), ("S", 2), ("T", 1), ("T", 2), ("U", 1), ("U", 2)]))
+    st.transition(swap_for_case(ORDER, "worst"))
+    feed(st, [StreamTuple("R", 20, 1)])
+    restored = roundtrip(st)
+    for op, info in st.controller.info.items():
+        other_op = next(
+            o for o in restored.plan.internal if o.membership == op.membership
+        )
+        assert restored.controller.info[other_op].settled == info.settled
+
+
+@pytest.mark.parametrize("cls", [StaticPlanExecutor, MovingStateStrategy])
+def test_other_strategies_roundtrip(schema, cls):
+    tuples = make_tuples([(s, k % 3) for k in range(12) for s in ORDER])
+    st = cls(schema, ORDER)
+    feed(st, tuples[:30])
+    restored = roundtrip(st)
+    assert continuation_outputs(st, tuples[30:]) == continuation_outputs(
+        restored, tuples[30:]
+    )
+
+
+def test_unsupported_strategy_rejected(schema):
+    from repro.eddy.cacq import CACQExecutor
+
+    with pytest.raises(ValueError):
+        checkpoint_strategy(CACQExecutor(schema, ORDER))
+
+
+def test_bad_version_rejected(schema):
+    st = JISCStrategy(schema, ORDER)
+    blob = checkpoint_strategy(st)
+    blob["version"] = 999
+    with pytest.raises(ValueError):
+        restore_strategy(blob)
+
+
+def test_time_window_strategy_roundtrip():
+    schema = Schema.uniform(["R", "S", "T"], window=9, window_kind="time")
+    tuples = make_tuples([(s, k % 3) for k in range(8) for s in ("R", "S", "T")])
+    st = JISCStrategy(schema, ("R", "S", "T"))
+    feed(st, tuples[:12])
+    restored = roundtrip(st)
+    assert continuation_outputs(st, tuples[12:]) == continuation_outputs(
+        restored, tuples[12:]
+    )

@@ -1,0 +1,74 @@
+"""Regression: state completion must not swallow in-flight emissions.
+
+Hypothesis found this scenario (reduced): a D tuple probes the scan A state
+at the incomplete node AD and matches two A tuples.  While the *first*
+result's cascade climbs the tree, an own-path completion at the node above
+recursively completes AD — and, naively, would insert the second result
+(A2, D6) into AD's state before the probe loop reaches it.  The probe
+loop's ``state.add`` then reports a duplicate and never emits, losing the
+output (A2, B3, C4, D6): a completeness (Theorem 1) violation.
+
+The fix: completion excludes every entry containing the base tuple whose
+cascade is currently in flight (``exclude_part``) — the cascade derives
+and emits those results itself.
+"""
+
+from tests.helpers import assert_same_output
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+def events():
+    names = ["A", "A", "A", "B", "C", "D", "D", "A", "A", "A"]
+    return [StreamTuple(n, i, 0) for i, n in enumerate(names)]
+
+
+SPEC1 = ("A", ("B", ("C", "D")))
+SPEC2 = ("B", ("C", ("A", "D")))
+
+
+def test_multi_match_probe_under_completion_loses_nothing():
+    schema = Schema.uniform(["A", "B", "C", "D"], window=2)
+    tuples = events()
+    ref = StaticPlanExecutor(schema, ("A", "B", "C", "D"))
+    for t in tuples:
+        ref.process(t)
+
+    st = JISCStrategy(schema, ("A", "B", "C", "D"))
+    for t in tuples[:3]:
+        st.process(t)
+    st.transition(SPEC1)
+    for t in tuples[3:6]:
+        st.process(t)
+    st.transition(SPEC2)
+    for t in tuples[6:]:
+        st.process(t)
+
+    assert_same_output(ref, st)
+    # The specific output the unfixed code lost:
+    assert (("A", 2), ("B", 3), ("C", 4), ("D", 6)) in set(st.output_lineages())
+
+
+def test_completion_exclude_part_skips_live_cascade_entries(metrics):
+    from repro.operators.joins import SymmetricHashJoin
+    from repro.operators.scan import StreamScan
+
+    a = StreamScan("A", 5, metrics)
+    d = StreamScan("D", 5, metrics)
+    join = SymmetricHashJoin(a, d, metrics)
+    a1, a2 = StreamTuple("A", 0, 1), StreamTuple("A", 1, 1)
+    d6 = StreamTuple("D", 2, 1)
+    for scan, tup in ((a, a1), (a, a2)):
+        scan.window.push(tup)
+        scan.state.add(tup)
+    d.window.push(d6)
+    d.state.add(d6)
+    join.state.status.mark_incomplete({1})
+
+    join.build_state_for_key(1, exclude_part=("D", 2))
+    assert len(join.state) == 0  # everything contains the excluded part
+
+    join.build_state_for_key(1, exclude_part=None)
+    assert len(join.state) == 2

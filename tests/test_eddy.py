@@ -1,0 +1,175 @@
+"""Unit tests for SteMs, CACQ, and the STAIRs executors."""
+
+import pytest
+
+from tests.helpers import assert_same_output, make_tuples
+from repro.eddy.cacq import CACQExecutor
+from repro.eddy.stairs import EddyMetrics, JISCStairsExecutor, STAIRSExecutor
+from repro.eddy.stem import SteM
+from repro.engine.metrics import Counter, Metrics
+from repro.migration.base import StaticPlanExecutor
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T"], window=5)
+
+
+ORDER = ("R", "S", "T")
+SWAPPED = ("S", "T", "R")
+
+
+def feed(strategy, tuples):
+    for tup in tuples:
+        strategy.process(tup)
+
+
+# -- SteM ---------------------------------------------------------------------
+
+
+def test_stem_insert_and_probe(metrics):
+    stem = SteM("R", 5, metrics)
+    stem.insert(StreamTuple("R", 0, 3))
+    assert [t.seq for t in stem.probe(3)] == [0]
+    assert stem.probe(4) == []
+
+
+def test_stem_window_eviction(metrics):
+    stem = SteM("R", 1, metrics)
+    stem.insert(StreamTuple("R", 0, 3))
+    evicted = stem.insert(StreamTuple("R", 1, 4))
+    assert [t.seq for t in evicted] == [0]
+    assert stem.probe(3) == []
+    assert len(stem) == 1
+
+
+def test_stem_rejects_wrong_stream(metrics):
+    stem = SteM("R", 5, metrics)
+    with pytest.raises(ValueError):
+        stem.insert(StreamTuple("S", 0, 1))
+
+
+# -- CACQ ---------------------------------------------------------------------
+
+
+def test_cacq_produces_full_joins(schema):
+    st = CACQExecutor(schema, ORDER)
+    feed(st, make_tuples([("R", 1), ("S", 1), ("T", 1)]))
+    assert len(st.outputs) == 1
+    assert st.outputs[0].streams == frozenset("RST")
+
+
+def test_cacq_matches_pipeline_output(schema):
+    events = make_tuples(
+        [("R", 1), ("S", 1), ("T", 1), ("R", 2), ("T", 2), ("S", 2), ("S", 1)]
+    )
+    ref = StaticPlanExecutor(schema, ORDER)
+    st = CACQExecutor(schema, ORDER)
+    feed(ref, events)
+    feed(st, events)
+    assert_same_output(ref, st)
+
+
+def test_cacq_transition_is_free_and_output_preserving(schema):
+    events = make_tuples([("R", 1), ("S", 1), ("T", 1), ("R", 2), ("S", 2), ("T", 2)])
+    ref = StaticPlanExecutor(schema, ORDER)
+    feed(ref, events)
+    st = CACQExecutor(schema, ORDER)
+    feed(st, events[:3])
+    t_before = st.metrics.clock.now
+    st.transition(SWAPPED)
+    assert st.metrics.clock.now == t_before  # routing flip costs nothing
+    feed(st, events[3:])
+    assert_same_output(ref, st)
+
+
+def test_cacq_counts_eddy_visits(schema):
+    st = CACQExecutor(schema, ORDER)
+    feed(st, make_tuples([("R", 1), ("S", 1), ("T", 1)]))
+    # every arrival visits the eddy; every partial returns to it
+    assert st.metrics.get(Counter.EDDY_VISIT) >= 3 + 2
+
+
+def test_cacq_no_intermediate_state(schema):
+    st = CACQExecutor(schema, ORDER)
+    feed(st, make_tuples([("R", 1), ("S", 1)]))
+    # only the two SteM windows hold state
+    assert sum(len(s.state) for s in st.stems.values()) == 2
+
+
+def test_cacq_transition_rejects_stream_set_change(schema):
+    st = CACQExecutor(schema, ORDER)
+    with pytest.raises(ValueError):
+        st.transition(("R", "S"))
+
+
+def test_cacq_needs_two_streams():
+    schema1 = Schema.uniform(["R"], window=5)
+    with pytest.raises(ValueError):
+        CACQExecutor(schema1, ("R",))
+
+
+# -- STAIRs -------------------------------------------------------------------
+
+
+def test_eddy_metrics_pair_emit_with_visit():
+    m = EddyMetrics()
+    m.count(Counter.TUPLE_EMIT)
+    m.count_n(Counter.TUPLE_EMIT, 3)
+    assert m.get(Counter.EDDY_VISIT) == 4
+    m.count(Counter.HASH_PROBE)
+    assert m.get(Counter.EDDY_VISIT) == 4
+
+
+def test_stairs_output_matches_oracle(schema):
+    events = make_tuples(
+        [("R", 1), ("S", 1), ("T", 1), ("S", 2), ("T", 2), ("R", 2)]
+    )
+    ref = StaticPlanExecutor(schema, ORDER)
+    feed(ref, events)
+    st = STAIRSExecutor(schema, ORDER)
+    feed(st, events[:3])
+    st.transition(SWAPPED)
+    feed(st, events[3:])
+    assert_same_output(ref, st)
+
+
+def test_stairs_counts_promote_demote_on_transition(schema):
+    st = STAIRSExecutor(schema, ORDER)
+    feed(st, make_tuples([("R", 1), ("S", 1), ("T", 1)]))
+    st.transition(SWAPPED)
+    assert st.metrics.get(Counter.DEMOTE) >= 1  # RS state discarded
+    assert st.metrics.get(Counter.PROMOTE) >= 1  # ST state built
+
+
+def test_jisc_stairs_lazy_promotion(schema):
+    events = make_tuples([("S", 1), ("T", 1), ("R", 1)])
+    eager = STAIRSExecutor(schema, ORDER)
+    lazy = JISCStairsExecutor(schema, ORDER)
+    for st in (eager, lazy):
+        feed(st, events)
+    e0, l0 = eager.now(), lazy.now()
+    eager.transition(SWAPPED)
+    lazy.transition(SWAPPED)
+    assert eager.now() > e0  # eager promote/demote at transition time
+    assert lazy.now() == l0  # nothing until a probe demands it
+
+
+def test_jisc_stairs_output_matches_oracle(schema):
+    events = make_tuples(
+        [("R", 1), ("S", 1), ("T", 1), ("S", 2), ("T", 2), ("R", 2)]
+    )
+    ref = StaticPlanExecutor(schema, ORDER)
+    feed(ref, events)
+    st = JISCStairsExecutor(schema, ORDER)
+    feed(st, events[:3])
+    st.transition(SWAPPED)
+    feed(st, events[3:])
+    assert_same_output(ref, st)
+
+
+def test_stairs_uses_eddy_metrics_by_default(schema):
+    assert isinstance(STAIRSExecutor(schema, ORDER).metrics, EddyMetrics)
+    assert isinstance(JISCStairsExecutor(schema, ORDER).metrics, EddyMetrics)

@@ -1,0 +1,118 @@
+"""Edge cases across the engine: minimal plans, payloads, degenerate setups."""
+
+import pytest
+
+from tests.helpers import assert_same_output, make_tuples
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+def feed(strategy, tuples):
+    for tup in tuples:
+        strategy.process(tup)
+
+
+def test_two_stream_plan_transition_is_trivially_complete():
+    # (A, B) -> (B, A): the only internal membership {A, B} is shared, so
+    # nothing is ever incomplete and no completion work happens.
+    schema = Schema.uniform(["A", "B"], window=5)
+    st = JISCStrategy(schema, ("A", "B"))
+    feed(st, make_tuples([("A", 1), ("B", 1)]))
+    st.transition(("B", "A"))
+    assert st.incomplete_state_count() == 0
+    feed(st, [StreamTuple("A", 10, 1)])
+    assert len(st.outputs) == 2
+
+
+def test_two_stream_plan_matches_oracle_through_swaps():
+    schema = Schema.uniform(["A", "B"], window=3)
+    tuples = make_tuples([("A", k % 2) for k in range(6)] + [("B", k % 2) for k in range(6)])
+    ref = StaticPlanExecutor(schema, ("A", "B"))
+    feed(ref, tuples)
+    st = JISCStrategy(schema, ("A", "B"))
+    feed(st, tuples[:4])
+    st.transition(("B", "A"))
+    feed(st, tuples[4:8])
+    st.transition(("A", "B"))
+    feed(st, tuples[8:])
+    assert_same_output(ref, st)
+
+
+def test_payloads_travel_with_tuples():
+    schema = Schema.uniform(["A", "B"], window=5)
+    st = StaticPlanExecutor(schema, ("A", "B"))
+    st.process(StreamTuple("A", 0, 1, payload={"temp": 21.5}))
+    st.process(StreamTuple("B", 1, 1, payload={"temp": 19.0}))
+    out = st.outputs[0]
+    assert out.part("A").payload == {"temp": 21.5}
+    assert out.part("B").payload == {"temp": 19.0}
+
+
+def test_same_transition_twice_is_idempotent():
+    schema = Schema.uniform(["A", "B", "C"], window=5)
+    st = JISCStrategy(schema, ("A", "B", "C"))
+    feed(st, make_tuples([("A", 1), ("B", 1), ("C", 1)]))
+    st.transition(("B", "C", "A"))
+    pending_first = st.pending_values("BC")
+    st.transition(("B", "C", "A"))  # no-op membership-wise
+    assert st.pending_values("BC") == pending_first
+    feed(st, [StreamTuple("A", 10, 1)])
+    assert len(st.outputs) == 2
+
+
+def test_transition_back_restores_completeness():
+    schema = Schema.uniform(["A", "B", "C"], window=5)
+    st = JISCStrategy(schema, ("A", "B", "C"))
+    feed(st, make_tuples([("A", 1), ("B", 1), ("C", 1)]))
+    st.transition(("B", "C", "A"))
+    assert st.incomplete_state_count() == 1
+    # Going straight back: {A,B} exists in neither intermediate of the
+    # (B,C,A) plan, so it is incomplete again — Definition 1 is about the
+    # *current* old plan, not history.
+    st.transition(("A", "B", "C"))
+    assert st.plan.state_of("AB").status.complete is False
+
+
+def test_moving_state_transition_back_rebuilds():
+    schema = Schema.uniform(["A", "B", "C"], window=5)
+    st = MovingStateStrategy(schema, ("A", "B", "C"))
+    feed(st, make_tuples([("A", 1), ("B", 1), ("C", 1)]))
+    st.transition(("B", "C", "A"))
+    st.transition(("A", "B", "C"))
+    assert len(st.plan.state_of("AB")) == 1  # eagerly rebuilt
+    assert st.plan.state_of("AB").status.complete
+
+
+def test_duplicate_key_heavy_stream():
+    # every tuple shares one key: maximal bucket sizes, no dedup accidents
+    schema = Schema.uniform(["A", "B", "C"], window=4)
+    tuples = make_tuples([("A", 7), ("B", 7), ("C", 7)] * 4)
+    ref = StaticPlanExecutor(schema, ("A", "B", "C"))
+    feed(ref, tuples)
+    st = JISCStrategy(schema, ("A", "B", "C"))
+    feed(st, tuples[:6])
+    st.transition(("C", "A", "B"))
+    feed(st, tuples[6:])
+    assert_same_output(ref, st)
+
+
+def test_single_stream_arrivals_only():
+    # only one stream ever produces tuples: no outputs, no crashes, and a
+    # transition mid-way is harmless.
+    schema = Schema.uniform(["A", "B", "C"], window=3)
+    st = JISCStrategy(schema, ("A", "B", "C"))
+    feed(st, make_tuples([("A", k) for k in range(10)]))
+    st.transition(("B", "A", "C"))
+    feed(st, [StreamTuple("A", 50, 3)])
+    assert st.outputs == []
+
+
+def test_metrics_sharing_between_strategies_is_isolated():
+    schema = Schema.uniform(["A", "B"], window=5)
+    a = JISCStrategy(schema, ("A", "B"))
+    b = JISCStrategy(schema, ("A", "B"))
+    a.process(StreamTuple("A", 0, 1))
+    assert b.metrics.total() == 0

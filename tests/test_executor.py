@@ -1,0 +1,62 @@
+"""Unit tests for event sequencing and the run_events driver."""
+
+import pytest
+
+from tests.helpers import make_tuples
+from repro.engine.executor import TransitionEvent, interleave_transitions, run_events
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.streams.schema import Schema
+
+
+def test_interleave_positions():
+    tuples = make_tuples([("R", 1), ("S", 1), ("T", 1)])
+    events = interleave_transitions(tuples, [(1, ("A",)), (3, ("B",))])
+    kinds = [type(e).__name__ for e in events]
+    assert kinds == [
+        "StreamTuple",
+        "TransitionEvent",
+        "StreamTuple",
+        "StreamTuple",
+        "TransitionEvent",
+    ]
+    assert events[1].new_spec == ("A",)
+    assert events[4].new_spec == ("B",)
+
+
+def test_interleave_multiple_at_same_position():
+    tuples = make_tuples([("R", 1)])
+    events = interleave_transitions(tuples, [(0, ("A",)), (0, ("B",))])
+    assert [e.new_spec for e in events[:2]] == [("A",), ("B",)]
+
+
+def test_interleave_rejects_out_of_range():
+    tuples = make_tuples([("R", 1)])
+    with pytest.raises(ValueError):
+        interleave_transitions(tuples, [(5, ("A",))])
+    with pytest.raises(ValueError):
+        interleave_transitions(tuples, [(-1, ("A",))])
+
+
+def test_run_events_dispatches():
+    schema = Schema.uniform(["R", "S", "T"], window=5)
+    tuples = make_tuples([("R", 1), ("S", 1), ("T", 1)])
+    events = interleave_transitions(tuples, [(2, ("S", "T", "R"))])
+    st = JISCStrategy(schema, ("R", "S", "T"))
+    out = run_events(st, events)
+    assert out is st
+    assert len(st.outputs) == 1
+
+
+def test_run_events_static_ignores_transitions():
+    schema = Schema.uniform(["R", "S"], window=5)
+    tuples = make_tuples([("R", 1), ("S", 1)])
+    events = interleave_transitions(tuples, [(1, ("S", "R"))])
+    st = StaticPlanExecutor(schema, ("R", "S"))
+    run_events(st, events)
+    assert st.plan.spec == ("R", "S")
+    assert len(st.outputs) == 1
+
+
+def test_transition_event_repr():
+    assert "TransitionEvent" in repr(TransitionEvent(("R", "S")))

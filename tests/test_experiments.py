@@ -1,0 +1,88 @@
+"""Unit tests for the experiment harnesses (Section 6 protocols)."""
+
+import pytest
+
+from repro.engine.metrics import Counter
+from repro.experiments.common import (
+    StageResult,
+    format_rows,
+    measure_frequency_sweep,
+    measure_latency,
+    measure_migration_stage,
+    measure_normal_operation,
+)
+
+
+@pytest.fixture(scope="module")
+def stage_rows():
+    return measure_migration_stage(4, window=40, case="best", seed=3)
+
+
+def test_migration_stage_measures_all_strategies(stage_rows):
+    assert {r.strategy for r in stage_rows} == {"jisc", "cacq", "parallel_track"}
+
+
+def test_migration_stage_same_tuple_segment(stage_rows):
+    # The protocol charges every strategy for the same stage tuples.
+    assert len({r.tuples for r in stage_rows}) == 1
+    assert stage_rows[0].tuples > 0
+
+
+def test_migration_stage_stage_ends_with_discard(stage_rows):
+    # The stage is roughly the window turnover of all streams: with 5
+    # streams and window 40, at most a few multiples of 200 tuples.
+    assert stage_rows[0].tuples <= 3 * 40 * 5
+
+
+def test_migration_stage_collects_op_breakdown(stage_rows):
+    pt = next(r for r in stage_rows if r.strategy == "parallel_track")
+    assert pt.ops.get(Counter.PURGE_CHECK, 0) > 0
+    jisc = next(r for r in stage_rows if r.strategy == "jisc")
+    assert Counter.PURGE_CHECK not in jisc.ops
+
+
+def test_migration_stage_custom_factories():
+    from repro.migration.jisc import JISCStrategy
+    from repro.migration.parallel_track import ParallelTrackStrategy
+
+    rows = measure_migration_stage(
+        4,
+        window=30,
+        case="worst",
+        factories={
+            "jisc": lambda sc: JISCStrategy(sc.schema, sc.order),
+            "parallel_track": lambda sc: ParallelTrackStrategy(sc.schema, sc.order),
+        },
+    )
+    assert {r.strategy for r in rows} == {"jisc", "parallel_track"}
+
+
+def test_normal_operation_series_monotone():
+    series = measure_normal_operation(n_joins=4, window=30, n_tuples=2000, checkpoints=4)
+    for rows in series.values():
+        times = [r.virtual_time for r in rows]
+        assert times == sorted(times)
+        assert [r.tuples for r in rows] == [500, 1000, 1500, 2000]
+
+
+def test_latency_returns_both_strategies():
+    lat = measure_latency(window=30, n_joins=3, join="hash", seed=2)
+    assert set(lat) == {"jisc", "moving_state"}
+    assert lat["jisc"] >= 0
+    assert lat["moving_state"] > 0
+
+
+def test_frequency_sweep_rows_carry_period():
+    rows = measure_frequency_sweep(4, periods=[300, 600], window=30, n_tuples=1800, seed=2)
+    periods = {r.extra["period"] for r in rows}
+    assert periods == {300.0, 600.0}
+
+
+def test_format_rows_renders():
+    rows = [
+        StageResult("jisc", 4, 100, 123.0, extra={"period": 300.0}),
+        StageResult("cacq", 4, 100, 456.0, extra={"period": 300.0}),
+    ]
+    text = format_rows(rows, extra_key="period")
+    assert "jisc" in text and "456" in text and "period" in text
+    assert len(text.splitlines()) == 3

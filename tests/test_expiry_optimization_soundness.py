@@ -1,0 +1,106 @@
+"""Regression: soundness of the Section 4.4 window-slide optimization.
+
+Hypothesis found this scenario (reduced): after a transition the state AC
+is incomplete; C#old expires as an *attempted* tuple (a newer C tuple with
+the same key arrived post-transition).  Under the paper's literal rule the
+removal stops at AC (no match, attempted), leaving the stale triple
+(A, B, C#old) inside the adopted state ACB; a later D tuple then joins with
+it and emits output containing an expired tuple — violating Theorem 2.
+
+The paper's guarantee ("an attempted tuple is guaranteed to have complete
+state entries at all the operators") only holds if arrivals also complete
+their own operator's state for their value (own-path completion).  The
+default configuration does that; ``expiry_optimization=False`` falls back
+to unconditional Section 4.2 propagation.  Both must match the oracle.
+"""
+
+import pytest
+
+from tests.helpers import assert_same_output
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+def scenario_events():
+    """The reduced hypothesis counterexample (window 8, key 1 is the actor)."""
+    tuples = []
+    seq = 0
+
+    def add(stream, key):
+        nonlocal seq
+        tuples.append(StreamTuple(stream, seq, key))
+        seq += 1
+
+    add("C", 1)  # C#0, will expire later
+    add("A", 1)  # A#1
+    add("B", 1)  # B#2
+    pre = list(tuples)
+    post = []
+    tuples = post
+    for _ in range(7):  # push C's window to the brink
+        add("C", 0)
+    add("C", 1)  # attempted: evicts C#0 (window 8)
+    add("D", 1)  # probes the adopted ACB state
+    return pre, post
+
+
+@pytest.mark.parametrize("expiry_optimization", [True, False])
+def test_no_output_with_expired_constituent(expiry_optimization):
+    schema = Schema.uniform(["A", "B", "C", "D"], window=8)
+    pre, post = scenario_events()
+    ref = StaticPlanExecutor(schema, ("A", "B", "C", "D"))
+    for tup in pre + post:
+        ref.process(tup)
+
+    st = JISCStrategy(
+        schema, ("A", "B", "C", "D"), expiry_optimization=expiry_optimization
+    )
+    for tup in pre:
+        st.process(tup)
+    st.transition(("A", "C", "B", "D"))
+    for tup in post:
+        st.process(tup)
+
+    assert_same_output(ref, st)
+    # Explicitly: no output may contain the expired C#0.
+    for out in st.outputs:
+        assert ("C", 0) not in out.lineage
+
+
+def test_own_path_completion_fills_state_on_arrival():
+    """With the optimization on, a post-transition C arrival completes the
+    incomplete AC state for its key, including the old-old pair."""
+    schema = Schema.uniform(["A", "B", "C", "D"], window=8)
+    pre, post = scenario_events()
+    st = JISCStrategy(schema, ("A", "B", "C", "D"))
+    for tup in pre:
+        st.process(tup)
+    st.transition(("A", "C", "B", "D"))
+    for tup in post:
+        st.process(tup)
+        if tup.stream == "C" and tup.key == 1:
+            break
+    # AC now holds the (A#1, C#new) pair produced by the arrival; the
+    # (A#1, C#0) old-old pair was completed and then removed when C#0
+    # expired during the same insert.
+    ac = st.plan.state_of("AC")
+    assert ac.contains_key(1)
+    assert all(("C", 0) not in e.lineage for e in ac.entries())
+
+
+def test_conservative_mode_propagates_unconditionally():
+    schema = Schema.uniform(["A", "B", "C", "D"], window=8)
+    pre, post = scenario_events()
+    st = JISCStrategy(
+        schema, ("A", "B", "C", "D"), expiry_optimization=False
+    )
+    for tup in pre:
+        st.process(tup)
+    st.transition(("A", "C", "B", "D"))
+    for tup in post:
+        st.process(tup)
+    # The stale triple must be gone from the adopted state.
+    acb = st.plan.state_of("ABC")
+    assert all(("C", 0) not in e.lineage for e in acb.entries())

@@ -1,0 +1,69 @@
+"""Unit tests for the fresh/attempted registry (Definition 2)."""
+
+from repro.core.freshness import FreshnessRegistry
+from repro.streams.tuples import StreamTuple
+
+
+def t(stream, seq, key):
+    return StreamTuple(stream, seq, key)
+
+
+def test_first_tuple_after_transition_is_fresh():
+    reg = FreshnessRegistry()
+    reg.note_transition(10)
+    assert reg.observe(t("R", 10, 5)) is True
+
+
+def test_second_tuple_same_stream_same_value_is_attempted():
+    reg = FreshnessRegistry()
+    reg.note_transition(10)
+    reg.observe(t("R", 10, 5))
+    assert reg.observe(t("R", 11, 5)) is False
+
+
+def test_same_value_other_stream_is_independently_fresh():
+    # Section 4.4 keys freshness on the *stream's* hash table.
+    reg = FreshnessRegistry()
+    reg.note_transition(10)
+    reg.observe(t("R", 10, 5))
+    assert reg.observe(t("S", 11, 5)) is True
+
+
+def test_different_value_is_fresh():
+    reg = FreshnessRegistry()
+    reg.note_transition(10)
+    reg.observe(t("R", 10, 5))
+    assert reg.observe(t("R", 11, 6)) is True
+
+
+def test_pre_transition_arrival_does_not_mark_attempted():
+    reg = FreshnessRegistry()
+    reg.observe(t("R", 3, 5))  # before any transition is noted
+    reg.note_transition(10)
+    assert reg.observe(t("R", 12, 5)) is True
+
+
+def test_new_transition_resets_freshness():
+    reg = FreshnessRegistry()
+    reg.note_transition(0)
+    reg.observe(t("R", 1, 5))
+    assert reg.observe(t("R", 2, 5)) is False
+    reg.note_transition(10)
+    assert reg.observe(t("R", 10, 5)) is True
+
+
+def test_is_fresh_value_for_expiring_tuples():
+    reg = FreshnessRegistry()
+    reg.note_transition(10)
+    assert reg.is_fresh_value("R", 5) is True  # nothing received since
+    reg.observe(t("R", 11, 5))
+    assert reg.is_fresh_value("R", 5) is False  # value attempted on R
+    assert reg.is_fresh_value("S", 5) is True  # but not on S
+
+
+def test_forget_stream():
+    reg = FreshnessRegistry()
+    reg.note_transition(0)
+    reg.observe(t("R", 1, 5))
+    reg.forget_stream("R")
+    assert reg.observe(t("R", 2, 5)) is True

@@ -1,0 +1,103 @@
+"""Unit tests for workload generators."""
+
+import pytest
+
+from repro.streams.generators import (
+    UniformWorkload,
+    ZipfWorkload,
+    generate_chain_workload,
+    interleave_random,
+    interleave_round_robin,
+)
+
+
+def test_uniform_deterministic_by_seed():
+    a = UniformWorkload(["R", "S"], 100, 10, seed=42).materialize()
+    b = UniformWorkload(["R", "S"], 100, 10, seed=42).materialize()
+    assert [(t.stream, t.seq, t.key) for t in a] == [(t.stream, t.seq, t.key) for t in b]
+
+
+def test_uniform_different_seeds_differ():
+    a = UniformWorkload(["R", "S"], 100, 1000, seed=1).materialize()
+    b = UniformWorkload(["R", "S"], 100, 1000, seed=2).materialize()
+    assert [t.key for t in a] != [t.key for t in b]
+
+
+def test_uniform_round_robin_deals_evenly():
+    tuples = UniformWorkload(["R", "S", "T"], 9, 10).materialize()
+    per_stream = {}
+    for t in tuples:
+        per_stream[t.stream] = per_stream.get(t.stream, 0) + 1
+    assert per_stream == {"R": 3, "S": 3, "T": 3}
+
+
+def test_uniform_seqs_are_global_arrival_order():
+    tuples = UniformWorkload(["R", "S"], 10, 5).materialize()
+    assert [t.seq for t in tuples] == list(range(10))
+
+
+def test_uniform_keys_within_domain():
+    tuples = UniformWorkload(["R"], 500, 7, seed=3).materialize()
+    assert all(0 <= t.key < 7 for t in tuples)
+
+
+def test_uniform_random_interleave_still_uniform_split():
+    tuples = UniformWorkload(["R", "S"], 4000, 10, seed=0, interleave="random").materialize()
+    r = sum(1 for t in tuples if t.stream == "R")
+    assert 1600 < r < 2400  # loose binomial bound
+
+
+def test_uniform_rejects_bad_args():
+    with pytest.raises(ValueError):
+        UniformWorkload([], 10, 10)
+    with pytest.raises(ValueError):
+        UniformWorkload(["R"], -1, 10)
+    with pytest.raises(ValueError):
+        UniformWorkload(["R"], 10, 0)
+    with pytest.raises(ValueError):
+        UniformWorkload(["R"], 10, 10, interleave="bogus")
+
+
+def test_zipf_skews_toward_small_keys():
+    tuples = ZipfWorkload(["R"], 5000, 50, skew=1.5, seed=1).materialize()
+    counts = {}
+    for t in tuples:
+        counts[t.key] = counts.get(t.key, 0) + 1
+    assert counts.get(0, 0) > counts.get(49, 0)
+    assert counts.get(0, 0) > 5000 / 50  # far above uniform share
+
+
+def test_zipf_zero_skew_is_near_uniform():
+    tuples = ZipfWorkload(["R"], 5000, 10, skew=0.0, seed=1).materialize()
+    counts = {}
+    for t in tuples:
+        counts[t.key] = counts.get(t.key, 0) + 1
+    assert min(counts.values()) > 300  # every key drawn often
+
+
+def test_zipf_rejects_negative_skew():
+    with pytest.raises(ValueError):
+        ZipfWorkload(["R"], 10, 10, skew=-1)
+
+
+def test_interleave_round_robin_orders_and_sequences():
+    tuples = interleave_round_robin({"R": [1, 2], "S": [3]})
+    assert [(t.stream, t.key) for t in tuples] == [("R", 1), ("S", 3), ("R", 2)]
+    assert [t.seq for t in tuples] == [0, 1, 2]
+
+
+def test_interleave_random_is_seeded_and_complete():
+    a = interleave_random({"R": [1, 2, 3], "S": [4, 5]}, seed=9)
+    b = interleave_random({"R": [1, 2, 3], "S": [4, 5]}, seed=9)
+    assert [(t.stream, t.key) for t in a] == [(t.stream, t.key) for t in b]
+    assert sorted(t.key for t in a) == [1, 2, 3, 4, 5]
+    # per-stream order preserved
+    r_keys = [t.key for t in a if t.stream == "R"]
+    assert r_keys == [1, 2, 3]
+
+
+def test_generate_chain_workload():
+    names, tuples = generate_chain_workload(4, 40, 10, seed=0)
+    assert names == ("S0", "S1", "S2", "S3")
+    assert len(tuples) == 40
+    assert {t.stream for t in tuples} == set(names)

@@ -1,0 +1,101 @@
+"""Hybrid plans (Section 2.1): a mix of hash and nested-loops joins."""
+
+import pytest
+
+from tests.helpers import assert_same_output, make_tuples
+from repro.engine.metrics import Counter
+from repro.migration.base import StaticPlanExecutor, hybrid_join_factory
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.operators.joins import NestedLoopsJoin, SymmetricHashJoin
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T", "U"], window=8)
+
+
+ORDER = ("R", "S", "T", "U")
+
+
+def feed(strategy, tuples):
+    for tup in tuples:
+        strategy.process(tup)
+
+
+def test_factory_selects_join_kind_per_node(schema, metrics):
+    from repro.plans.build import build_plan
+    from repro.plans.spec import left_deep
+
+    factory = hybrid_join_factory({"T"})
+    plan = build_plan(left_deep(ORDER), schema, metrics, op_factory=factory)
+    kinds = {
+        "".join(sorted(op.membership)): type(op).__name__ for op in plan.internal
+    }
+    assert kinds["RS"] == "SymmetricHashJoin"
+    assert kinds["RST"] == "NestedLoopsJoin"  # brings the theta stream T
+    assert kinds["RSTU"] == "SymmetricHashJoin"
+
+
+def test_leaf_join_goes_nl_when_either_side_is_theta(schema, metrics):
+    from repro.plans.build import build_plan
+    from repro.plans.spec import left_deep
+
+    factory = hybrid_join_factory({"R"})
+    plan = build_plan(left_deep(ORDER), schema, metrics, op_factory=factory)
+    assert isinstance(plan.internal[0], NestedLoopsJoin)  # R |x| S
+    assert isinstance(plan.internal[1], SymmetricHashJoin)
+
+
+def test_hybrid_equality_matches_all_hash_oracle(schema):
+    tuples = make_tuples([(s, k % 3) for k in range(24) for s in ORDER])
+    ref = StaticPlanExecutor(schema, ORDER)  # all hash
+    hybrid = StaticPlanExecutor(
+        schema, ORDER, op_factory=hybrid_join_factory({"S", "U"})
+    )
+    feed(ref, tuples)
+    feed(hybrid, tuples)
+    assert_same_output(ref, hybrid)
+
+
+def test_hybrid_counts_both_op_families(schema):
+    hybrid = StaticPlanExecutor(
+        schema, ORDER, op_factory=hybrid_join_factory({"T"})
+    )
+    feed(hybrid, make_tuples([(s, 1) for s in ORDER] * 3))
+    assert hybrid.metrics.get(Counter.NL_COMPARE) > 0
+    assert hybrid.metrics.get(Counter.HASH_PROBE) > 0
+
+
+def test_jisc_migration_over_hybrid_plan(schema):
+    factory = hybrid_join_factory({"T"})
+    tuples = make_tuples([(s, k % 4) for k in range(30) for s in ORDER])
+    ref = StaticPlanExecutor(schema, ORDER, op_factory=factory)
+    feed(ref, tuples)
+    st = JISCStrategy(schema, ORDER, op_factory=factory)
+    feed(st, tuples[:48])
+    st.transition(("S", "T", "U", "R"))
+    feed(st, tuples[48:])
+    assert_same_output(ref, st)
+
+
+def test_moving_state_migration_over_hybrid_plan(schema):
+    factory = hybrid_join_factory({"S"})
+    tuples = make_tuples([(s, k % 4) for k in range(24) for s in ORDER])
+    ref = StaticPlanExecutor(schema, ORDER, op_factory=factory)
+    feed(ref, tuples)
+    st = MovingStateStrategy(schema, ORDER, op_factory=factory)
+    feed(st, tuples[:40])
+    st.transition(("R", "T", "S", "U"))
+    feed(st, tuples[40:])
+    assert_same_output(ref, st)
+
+
+def test_band_predicate_hybrid(schema):
+    # A non-equality theta join on stream U: |probe - entry| <= 1.
+    factory = hybrid_join_factory({"U"}, predicate=lambda a, b: abs(a - b) <= 1)
+    st = StaticPlanExecutor(schema, ORDER, op_factory=factory)
+    feed(st, make_tuples([("R", 5), ("S", 5), ("T", 5), ("U", 6)]))
+    assert len(st.outputs) == 1  # u joins via the band predicate

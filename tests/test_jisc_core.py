@@ -1,0 +1,273 @@
+"""Core JISC behaviour tests: Definition 1, Procedures 1-3, Section 4.2-4.5.
+
+These tests recreate the paper's own running examples (the R,S,T,U plans of
+Figures 2-4 and the three risk scenarios of Sections 2.2 and 4.2) on small,
+fully controlled tuple sequences.
+"""
+
+import pytest
+
+from tests.helpers import assert_same_output, make_tuples, oracle_for
+from repro.engine.executor import run_events
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T", "U"], window=10)
+
+
+ORDER = ("R", "S", "T", "U")  # ((R |x| S) |x| T) |x| U, Figure 2(a)
+SWAPPED = ("S", "T", "U", "R")  # Figure 2(b)-like: R moves to the top
+
+
+def feed(strategy, tuples):
+    for tup in tuples:
+        strategy.process(tup)
+
+
+def test_transition_classifies_states(schema):
+    st = JISCStrategy(schema, ORDER)
+    feed(st, make_tuples([("S", 1), ("T", 1), ("U", 1)]))
+    st.transition(SWAPPED)
+    # New plan ((S |x| T) |x| U) |x| R: ST and STU are new -> incomplete;
+    # the root state STUR has the same membership as the old root.
+    assert st.plan.state_of("ST").status.complete is False
+    assert st.plan.state_of("STU").status.complete is False
+    assert st.plan.state_of("RSTU").status.complete is True
+
+
+def test_transition_on_empty_windows_is_vacuously_complete(schema):
+    # With no pre-transition data there is nothing to complete: Definition 1
+    # marks the new states incomplete, but their counters start at zero, so
+    # they are immediately declared complete (Section 4.3).
+    st = JISCStrategy(schema, ORDER)
+    st.transition(SWAPPED)
+    assert st.incomplete_state_count() == 0
+
+
+def test_scans_and_windows_survive_transition(schema):
+    st = JISCStrategy(schema, ORDER)
+    feed(st, make_tuples([("R", 1), ("S", 2)]))
+    scan_r = st.plan.scans["R"]
+    st.transition(SWAPPED)
+    assert st.plan.scans["R"] is scan_r
+    assert len(scan_r.window) == 1
+
+
+def test_shared_state_is_adopted_not_copied(schema):
+    st = JISCStrategy(schema, ORDER)
+    feed(st, make_tuples([("R", 1), ("S", 1)]))
+    rs_state = st.plan.state_of("RS")
+    assert len(rs_state) == 1
+    # Swap T and U: RS and RST keep their memberships.
+    st.transition(("R", "S", "U", "T"))
+    assert st.plan.state_of("RS") is rs_state
+
+
+def test_section_2_2_scenario_1_missed_output_is_prevented(schema):
+    """Tuples s, t, u arrive pre-transition; r arrives after.  Without state
+    completion the quadruple (r, s, t, u) would be missed (Section 2.2)."""
+    pre = make_tuples([("S", 7), ("T", 7), ("U", 7)])
+    post = [StreamTuple("R", 3, 7)]
+    st = JISCStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, post)
+    assert len(st.outputs) == 1
+    assert st.outputs[0].streams == frozenset("RSTU")
+
+
+def test_completion_fills_states_bottom_up(schema):
+    pre = make_tuples([("S", 7), ("T", 7), ("U", 7)])
+    st = JISCStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    assert len(st.plan.state_of("ST")) == 0
+    feed(st, [StreamTuple("R", 3, 7)])
+    # the fresh R probe completed ST and STU for key 7
+    assert len(st.plan.state_of("ST")) == 1
+    assert len(st.plan.state_of("STU")) == 1
+
+
+def test_completion_settles_value_once(schema):
+    pre = make_tuples([("S", 7), ("T", 7), ("U", 7)])
+    st = JISCStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, [StreamTuple("R", 3, 7)])
+    stu = st.plan.by_identity[("join", frozenset("STU"))]
+    assert not st.controller.needs_completion(stu, 7)
+
+
+def test_attempted_tuple_skips_completion_but_joins(schema):
+    pre = make_tuples([("S", 7), ("T", 7), ("U", 7)])
+    st = JISCStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, [StreamTuple("R", 3, 7), StreamTuple("R", 4, 7)])
+    # both R tuples produce a full result
+    assert len(st.outputs) == 2
+
+
+def test_counter_reaches_zero_marks_complete(schema):
+    # Two distinct pre-transition values; completing both completes states.
+    pre = make_tuples(
+        [("S", 1), ("T", 1), ("U", 1), ("S", 2), ("T", 2), ("U", 2)]
+    )
+    st = JISCStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    assert st.incomplete_state_count() == 2
+    feed(st, [StreamTuple("R", 10, 1)])
+    assert st.plan.state_of("ST").status.counter == 1
+    feed(st, [StreamTuple("R", 11, 2)])
+    assert st.plan.state_of("ST").status.complete is True
+    assert st.plan.state_of("STU").status.complete is True
+    assert st.incomplete_state_count() == 0
+
+
+def test_pending_initialized_from_reference_child(schema):
+    pre = make_tuples([("S", 1), ("S", 2), ("T", 1), ("U", 3)])
+    st = JISCStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    # ST's children are scans S {1,2} and T {1}; reference = smaller side T.
+    assert st.pending_values("ST") == {1}
+    # STU: left child ST incomplete, right child scan U complete -> Case 2.
+    assert st.pending_values("STU") == {3}
+
+
+def test_value_retired_when_old_support_expires(schema):
+    small = Schema.uniform(["R", "S", "T", "U"], window=1)
+    pre = make_tuples([("S", 1), ("T", 1), ("U", 1)])
+    st = JISCStrategy(small, ORDER)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    assert st.pending_values("ST") == {1}
+    # New T tuple with another key evicts the old T#1 (window=1): value 1
+    # can never need completion again, so the counter must release it.
+    feed(st, [StreamTuple("T", 10, 2)])
+    assert st.plan.state_of("ST").status.complete is True
+
+
+def test_overlapped_transition_keeps_state_incomplete(schema):
+    """Figure 4: ST incomplete after transition 1 must stay incomplete when
+    transition 2 produces a plan that also contains ST."""
+    pre = make_tuples([("S", 1), ("T", 1), ("U", 1), ("R", 1)])
+    st = JISCStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(("S", "T", "R", "U"))  # plan (b): ST incomplete
+    assert st.plan.state_of("ST").status.complete is False
+    st.transition(("S", "T", "U", "R"))  # plan (c): ST membership persists
+    assert st.plan.state_of("ST").status.complete is False
+
+
+def test_overlapped_transitions_produce_correct_output(schema):
+    pre = make_tuples(
+        [("S", 1), ("T", 1), ("U", 1), ("R", 1), ("S", 2), ("T", 2)]
+    )
+    post = [
+        StreamTuple("U", 10, 2),
+        StreamTuple("R", 11, 2),
+        StreamTuple("R", 12, 1),
+    ]
+    events = pre + post
+    ref = StaticPlanExecutor(schema, ORDER)
+    feed(ref, events)
+
+    st = JISCStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(("S", "T", "R", "U"))
+    st.transition(("S", "T", "U", "R"))
+    feed(st, post)
+    assert_same_output(ref, st)
+
+
+def test_section_4_2_window_slide_through_incomplete_state():
+    """The third risk scenario: s slides out right after the transition; the
+    stale RST entry must be purged even though ST is empty, so that a later
+    u produces no invalid output."""
+    schema = Schema.uniform(["R", "S", "T", "U"], window=2)
+    pre = make_tuples([("R", 7), ("S", 7), ("T", 7)])
+    st = JISCStrategy(schema, ORDER)
+    ref = StaticPlanExecutor(schema, ORDER)
+    feed(st, pre)
+    feed(ref, pre)
+    st.transition(("S", "T", "U", "R"))
+    # Two more S arrivals slide s (seq 1) out of S's window of 2.
+    post = [
+        StreamTuple("S", 3, 99),
+        StreamTuple("S", 4, 99),
+        StreamTuple("U", 5, 7),
+    ]
+    feed(st, post)
+    feed(ref, post)
+    assert_same_output(ref, st)
+    assert len(st.outputs) == 0  # (r, s, t, u) must NOT appear
+
+
+def test_procedure2_and_procedure3_equivalent(schema):
+    pre = make_tuples(
+        [("S", 1), ("T", 1), ("U", 1), ("S", 2), ("T", 2), ("U", 2)]
+    )
+    post = [StreamTuple("R", 10, 1), StreamTuple("R", 11, 2)]
+
+    results = []
+    for force in (False, True):
+        st = JISCStrategy(schema, ORDER, force_recursive=force)
+        feed(st, pre)
+        st.transition(SWAPPED)
+        feed(st, post)
+        results.append(
+            (
+                sorted(st.output_lineages()),
+                len(st.plan.state_of("ST")),
+                len(st.plan.state_of("STU")),
+            )
+        )
+    assert results[0] == results[1]
+
+
+def test_transition_must_preserve_stream_set(schema):
+    st = JISCStrategy(schema, ORDER)
+    with pytest.raises(ValueError):
+        st.transition(("R", "S", "T"))
+
+
+def test_no_transition_means_zero_jisc_interference(schema):
+    events = make_tuples(
+        [("R", 1), ("S", 1), ("T", 1), ("U", 1), ("R", 2), ("S", 2)]
+    )
+    ref = StaticPlanExecutor(schema, ORDER)
+    st = JISCStrategy(schema, ORDER)
+    feed(ref, events)
+    feed(st, events)
+    assert_same_output(ref, st)
+    assert st.metrics.counts == ref.metrics.counts
+
+
+def test_naive_recheck_is_correct_but_more_work(schema):
+    # Three pre-transition values keep the states incomplete while repeated
+    # R tuples with the same key arrive: the naive variant redoes the
+    # completion for key 1 on every probe, the paper's Definition 2
+    # machinery does it once.
+    pre = make_tuples(
+        [(s, k) for k in (1, 2, 3) for s in ("S", "T", "U")]
+    )
+    post = [StreamTuple("R", 20 + i, 1) for i in range(6)]
+    smart = JISCStrategy(schema, ORDER)
+    naive = JISCStrategy(schema, ORDER, naive_recheck=True)
+    for st in (smart, naive):
+        feed(st, pre)
+        st.transition(SWAPPED)
+        feed(st, post)
+    assert sorted(smart.output_lineages()) == sorted(naive.output_lineages())
+    from repro.engine.metrics import Counter
+
+    assert naive.metrics.get(Counter.COMPLETION_PROBE) > smart.metrics.get(
+        Counter.COMPLETION_PROBE
+    )

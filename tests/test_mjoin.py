@@ -1,0 +1,113 @@
+"""Unit and equivalence tests for the n-ary MJoin executor."""
+
+import pytest
+
+from tests.helpers import assert_same_output, make_tuples
+from repro.engine.executor import interleave_transitions, run_events
+from repro.engine.metrics import Counter
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.mjoin import MJoinExecutor
+from repro.eddy.cacq import CACQExecutor
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+from repro.workloads.scenarios import chain_scenario, swap_for_case
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T"], window=6)
+
+
+ORDER = ("R", "S", "T")
+
+
+def feed(strategy, tuples):
+    for tup in tuples:
+        strategy.process(tup)
+
+
+def test_mjoin_produces_full_joins(schema):
+    st = MJoinExecutor(schema, ORDER)
+    feed(st, make_tuples([("R", 1), ("S", 1), ("T", 1)]))
+    assert len(st.outputs) == 1
+    assert st.outputs[0].streams == frozenset("RST")
+
+
+def test_mjoin_matches_pipeline(schema):
+    events = make_tuples(
+        [("R", 1), ("S", 1), ("T", 1), ("T", 2), ("S", 2), ("R", 2), ("S", 1)]
+    )
+    ref = StaticPlanExecutor(schema, ORDER)
+    st = MJoinExecutor(schema, ORDER)
+    feed(ref, events)
+    feed(st, events)
+    assert_same_output(ref, st)
+
+
+def test_mjoin_window_expiry(schema):
+    small = Schema.uniform(["R", "S", "T"], window=1)
+    st = MJoinExecutor(small, ORDER)
+    feed(st, make_tuples([("R", 1), ("R", 2), ("S", 1), ("T", 1)]))
+    assert st.outputs == []  # R#0 (key 1) was evicted by R#1
+
+
+def test_mjoin_probe_order_excludes_self(schema):
+    st = MJoinExecutor(schema, ORDER)
+    assert st.probe_order("S") == ("R", "T")
+
+
+def test_mjoin_transition_is_free_and_output_preserving(schema):
+    events = make_tuples([(s, k % 2) for k in range(8) for s in ORDER])
+    ref = StaticPlanExecutor(schema, ORDER)
+    feed(ref, events)
+    st = MJoinExecutor(schema, ORDER)
+    feed(st, events[:12])
+    before = st.metrics.clock.now
+    st.transition(("T", "R", "S"))
+    assert st.metrics.clock.now == before
+    feed(st, events[12:])
+    assert_same_output(ref, st)
+
+
+def test_mjoin_transition_rejects_stream_change(schema):
+    st = MJoinExecutor(schema, ORDER)
+    with pytest.raises(ValueError):
+        st.transition(("R", "S"))
+
+
+def test_mjoin_needs_two_streams():
+    with pytest.raises(ValueError):
+        MJoinExecutor(Schema.uniform(["R"], 5), ("R",))
+
+
+def test_mjoin_cheaper_than_cacq_no_eddy_overhead():
+    sc = chain_scenario(n_joins=6, n_tuples=4000, window=50, key_domain=100, seed=5)
+    mjoin = MJoinExecutor(sc.schema, sc.order)
+    cacq = CACQExecutor(sc.schema, sc.order)
+    for tup in sc.tuples:
+        mjoin.process(tup)
+        cacq.process(tup)
+    assert mjoin.metrics.get(Counter.EDDY_VISIT) == 0
+    assert mjoin.metrics.clock.now < cacq.metrics.clock.now
+    assert sorted(mjoin.output_lineages()) == sorted(cacq.output_lineages())
+
+
+def test_mjoin_under_forced_transitions_matches_oracle():
+    sc = chain_scenario(n_joins=4, n_tuples=1500, window=30, seed=9)
+    events = interleave_transitions(
+        list(sc.tuples),
+        [(500, swap_for_case(sc.order, "worst")), (1000, sc.order)],
+    )
+    ref = run_events(StaticPlanExecutor(sc.schema, sc.order), events)
+    st = run_events(MJoinExecutor(sc.schema, sc.order), events)
+    assert_same_output(ref, st)
+
+
+def test_mjoin_with_time_windows():
+    schema = Schema.uniform(["R", "S", "T"], window=5, window_kind="time")
+    ref = StaticPlanExecutor(schema, ORDER)
+    st = MJoinExecutor(schema, ORDER)
+    events = make_tuples([("R", 1), ("S", 1), ("T", 1), ("T", 1), ("S", 1), ("R", 1)])
+    feed(ref, events)
+    feed(st, events)
+    assert_same_output(ref, st)

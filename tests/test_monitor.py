@@ -1,0 +1,124 @@
+"""Tests for the runtime query monitor."""
+
+import pytest
+
+from tests.helpers import make_tuples
+from repro.engine.monitor import QueryMonitor
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.migration.parallel_track import ParallelTrackStrategy
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T"], window=10)
+
+
+ORDER = ("R", "S", "T")
+
+
+def run_with_monitor(strategy, tuples, every=4):
+    mon = QueryMonitor(strategy)
+    for i, tup in enumerate(tuples):
+        strategy.process(tup)
+        mon.note_tuple()
+        if (i + 1) % every == 0:
+            mon.sample()
+    mon.sample()
+    return mon
+
+
+def test_snapshot_captures_state_sizes(schema):
+    st = JISCStrategy(schema, ORDER)
+    mon = run_with_monitor(st, make_tuples([("R", 1), ("S", 1), ("T", 1)]))
+    snap = mon.history[-1]
+    assert snap.window_fill == {"R": 1, "S": 1, "T": 1}
+    assert snap.state_sizes["RS"] == 1
+    assert snap.state_sizes["RST"] == 1
+    assert snap.outputs == 1
+    assert snap.total_entries == 5
+
+
+def test_incomplete_states_visible_after_transition(schema):
+    st = JISCStrategy(schema, ORDER)
+    for tup in make_tuples([("S", 1), ("T", 1)]):
+        st.process(tup)
+    st.transition(("S", "T", "R"))
+    mon = QueryMonitor(st)
+    snap = mon.sample()
+    assert snap.incomplete_states == 1
+
+
+def test_parallel_track_live_plans(schema):
+    st = ParallelTrackStrategy(schema, ORDER, purge_check_interval=1000)
+    st.transition(("S", "T", "R"))
+    mon = QueryMonitor(st)
+    assert mon.sample().live_plans == 2
+
+
+def test_peak_entries_and_largest_state(schema):
+    st = JISCStrategy(schema, ORDER)
+    mon = run_with_monitor(
+        st, make_tuples([("R", k % 2) for k in range(8)] + [("S", 0), ("T", 0)])
+    )
+    assert mon.peak_entries() > 0
+    assert mon.largest_state() in {"RS", "RST"}
+
+
+def test_throughput_positive_when_producing(schema):
+    st = JISCStrategy(schema, ORDER)
+    tuples = make_tuples([(s, 1) for s in ORDER] * 4)
+    mon = run_with_monitor(st, tuples, every=2)
+    assert mon.throughput() > 0
+
+
+def test_output_stall_detects_moving_state_halt(schema):
+    wide = Schema.uniform(["R", "S", "T"], window=200)
+    tuples = make_tuples([(s, k % 40) for k in range(200) for s in ORDER])
+
+    def run(cls):
+        st = cls(wide, ORDER)
+        mon = QueryMonitor(st)
+        for i, tup in enumerate(tuples):
+            if i == 300:
+                mon.sample()
+                st.transition(("S", "T", "R"))
+                mon.sample()
+            st.process(tup)
+            mon.note_tuple()
+            if i % 10 == 0:
+                mon.sample()
+        return mon
+
+    jisc_stall = run(JISCStrategy).output_stall()
+    ms_stall = run(MovingStateStrategy).output_stall()
+    assert ms_stall > jisc_stall
+
+
+def test_history_is_bounded(schema):
+    st = JISCStrategy(schema, ORDER)
+    mon = QueryMonitor(st, max_history=5)
+    for _ in range(12):
+        mon.sample()
+    assert len(mon.history) == 5
+
+
+def test_rejects_bad_history_bound(schema):
+    with pytest.raises(ValueError):
+        QueryMonitor(JISCStrategy(schema, ORDER), max_history=0)
+
+
+def test_summary_keys(schema):
+    st = JISCStrategy(schema, ORDER)
+    mon = run_with_monitor(st, make_tuples([(s, 1) for s in ORDER]))
+    summary = mon.summary()
+    assert set(summary) == {
+        "samples",
+        "peak_entries",
+        "largest_state",
+        "throughput",
+        "output_stall",
+        "incomplete_states",
+    }

@@ -1,0 +1,105 @@
+"""Unit tests for the Moving State Strategy (Section 3.2)."""
+
+import pytest
+
+from tests.helpers import assert_same_output, make_tuples
+from repro.engine.metrics import Counter
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T", "U"], window=10)
+
+
+ORDER = ("R", "S", "T", "U")
+SWAPPED = ("S", "T", "U", "R")
+
+
+def feed(strategy, tuples):
+    for tup in tuples:
+        strategy.process(tup)
+
+
+def test_transition_recomputes_missing_states_eagerly(schema):
+    pre = make_tuples([("S", 7), ("T", 7), ("U", 7)])
+    st = MovingStateStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    # Unlike JISC, the missing states are filled immediately.
+    assert len(st.plan.state_of("ST")) == 1
+    assert len(st.plan.state_of("STU")) == 1
+    assert st.plan.state_of("ST").status.complete is True
+
+
+def test_transition_work_happens_at_transition_time(schema):
+    pre = make_tuples([(s, k) for k in range(5) for s in ("S", "T", "U")])
+    st = MovingStateStrategy(schema, ORDER)
+    feed(st, pre)
+    before = st.now()
+    st.transition(SWAPPED)
+    assert st.now() > before  # the halt: clock advanced with no arrivals
+
+
+def test_jisc_transition_is_free_moving_state_is_not(schema):
+    pre = make_tuples([(s, k) for k in range(5) for s in ("S", "T", "U")])
+    ms = MovingStateStrategy(schema, ORDER)
+    ji = JISCStrategy(schema, ORDER)
+    feed(ms, pre)
+    feed(ji, pre)
+    ms0, ji0 = ms.now(), ji.now()
+    ms.transition(SWAPPED)
+    ji.transition(SWAPPED)
+    assert ms.now() - ms0 > 0
+    assert ji.now() - ji0 == 0  # adoption is a pointer move
+
+
+def test_output_equivalence_with_oracle(schema):
+    pre = make_tuples([(s, k) for k in range(4) for s in ("R", "S", "T", "U")])
+    post = [StreamTuple("R", 100 + i, i % 4) for i in range(8)]
+    ref = StaticPlanExecutor(schema, ORDER)
+    feed(ref, pre + post)
+    st = MovingStateStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, post)
+    assert_same_output(ref, st)
+
+
+def test_matching_states_adopted_not_recomputed(schema):
+    pre = make_tuples([("R", 1), ("S", 1), ("T", 1), ("U", 1)])
+    st = MovingStateStrategy(schema, ORDER)
+    feed(st, pre)
+    rs_state = st.plan.state_of("RS")
+    st.transition(("R", "S", "U", "T"))  # RS and RST keep their memberships
+    assert st.plan.state_of("RS") is rs_state
+
+
+def test_repeated_transitions_stay_correct(schema):
+    pre = make_tuples([(s, k) for k in range(3) for s in ("R", "S", "T", "U")])
+    post = [StreamTuple("U", 200 + i, i % 3) for i in range(6)]
+    ref = StaticPlanExecutor(schema, ORDER)
+    feed(ref, pre + post)
+    st = MovingStateStrategy(schema, ORDER)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    st.transition(ORDER)
+    st.transition(SWAPPED)
+    feed(st, post)
+    assert_same_output(ref, st)
+
+
+def test_nested_loops_recompute_is_quadratic(schema):
+    # The eager rebuild under NL joins scans the whole opposite state per
+    # entry — the Figure 10(b) blow-up.
+    pre = make_tuples([(s, k) for k in range(8) for s in ("S", "T", "U")])
+    st = MovingStateStrategy(schema, ORDER, join="nl")
+    feed(st, pre)
+    before = st.metrics.get(Counter.NL_COMPARE)
+    st.transition(SWAPPED)
+    compares = st.metrics.get(Counter.NL_COMPARE) - before
+    assert compares >= 8 * 8  # at least |S| x |T| for the leaf rebuild

@@ -1,0 +1,187 @@
+"""Unit tests for scans and join operators (symmetric hash, nested loops)."""
+
+import pytest
+
+from repro.engine.metrics import Counter, Metrics
+from repro.operators.joins import NestedLoopsJoin, SymmetricHashJoin
+from repro.operators.scan import StreamScan
+from repro.operators.sink import OutputSink
+from repro.streams.tuples import StreamTuple
+
+
+def build_pair(metrics, window=10, join_cls=SymmetricHashJoin, **kw):
+    r = StreamScan("R", window, metrics)
+    s = StreamScan("S", window, metrics)
+    j = join_cls(r, s, metrics, **kw) if kw else join_cls(r, s, metrics)
+    sink = OutputSink(metrics)
+    sink.attach(j)
+    return r, s, j, sink
+
+
+def test_scan_insert_adds_to_state_and_emits(metrics):
+    r = StreamScan("R", 5, metrics)
+    sink = OutputSink(metrics)
+    sink.attach(r)
+    tup = StreamTuple("R", 0, 7)
+    r.insert(tup)
+    assert tup in r.state
+    assert sink.outputs == [tup]
+
+
+def test_scan_rejects_wrong_stream(metrics):
+    r = StreamScan("R", 5, metrics)
+    with pytest.raises(ValueError):
+        r.insert(StreamTuple("S", 0, 1))
+
+
+def test_scan_membership_and_identity(metrics):
+    r = StreamScan("R", 5, metrics)
+    assert r.membership == frozenset({"R"})
+    assert r.identity == ("scan", frozenset({"R"}))
+
+
+def test_scan_window_eviction_removes_from_state(metrics):
+    r = StreamScan("R", 2, metrics)
+    sink = OutputSink(metrics)
+    sink.attach(r)
+    t0, t1, t2 = (StreamTuple("R", i, i) for i in range(3))
+    for t in (t0, t1, t2):
+        r.insert(t)
+    assert t0 not in r.state
+    assert t1 in r.state and t2 in r.state
+    assert len(r.window) == 2
+
+
+def test_symmetric_hash_join_matches_on_key(metrics):
+    r, s, j, sink = build_pair(metrics)
+    r.insert(StreamTuple("R", 0, 5))
+    assert sink.outputs == []  # no S tuple yet
+    s.insert(StreamTuple("S", 1, 5))
+    assert len(sink.outputs) == 1
+    out = sink.outputs[0]
+    assert out.lineage == (("R", 0), ("S", 1))
+    assert out in j.state
+
+
+def test_symmetric_hash_join_no_match_on_different_key(metrics):
+    r, s, j, sink = build_pair(metrics)
+    r.insert(StreamTuple("R", 0, 5))
+    s.insert(StreamTuple("S", 1, 6))
+    assert sink.outputs == []
+    assert len(j.state) == 0
+
+
+def test_symmetric_join_is_symmetric(metrics):
+    # r then s produces the same pair as s then r.
+    r, s, j, sink = build_pair(metrics)
+    s.insert(StreamTuple("S", 0, 5))
+    r.insert(StreamTuple("R", 1, 5))
+    assert len(sink.outputs) == 1
+    assert sink.outputs[0].lineage == (("R", 1), ("S", 0))
+
+
+def test_join_multiplicity_cross_product(metrics):
+    r, s, j, sink = build_pair(metrics)
+    r.insert(StreamTuple("R", 0, 5))
+    r.insert(StreamTuple("R", 1, 5))
+    s.insert(StreamTuple("S", 2, 5))
+    s.insert(StreamTuple("S", 3, 5))
+    assert len(sink.outputs) == 2 + 2  # first S matches 2 Rs, second S too
+    assert len(j.state) == 4
+
+
+def test_join_expiry_removes_join_state_entries(metrics):
+    r, s, j, sink = build_pair(metrics, window=1)
+    r.insert(StreamTuple("R", 0, 5))
+    s.insert(StreamTuple("S", 1, 5))
+    assert len(j.state) == 1
+    # a second R tuple evicts the first; the join entry must go too
+    r.insert(StreamTuple("R", 2, 8))
+    assert len(j.state) == 0
+    assert len(sink.retractions) == 1
+
+
+def test_expired_tuple_no_longer_joins(metrics):
+    r, s, j, sink = build_pair(metrics, window=1)
+    r.insert(StreamTuple("R", 0, 5))
+    r.insert(StreamTuple("R", 1, 6))  # evicts key 5
+    s.insert(StreamTuple("S", 2, 5))
+    assert sink.outputs == []
+
+
+def test_join_membership_disjointness_enforced(metrics):
+    r1 = StreamScan("R", 5, metrics)
+    r2 = StreamScan("R", 5, metrics)
+    with pytest.raises(ValueError):
+        SymmetricHashJoin(r1, r2, metrics)
+
+
+def test_join_opposite(metrics):
+    r, s, j, _ = build_pair(metrics)
+    assert j.opposite(r) is s
+    assert j.opposite(s) is r
+    stranger = StreamScan("T", 5, metrics)
+    with pytest.raises(ValueError):
+        j.opposite(stranger)
+
+
+def test_join_counts_probe_and_insert(metrics):
+    r, s, j, _ = build_pair(metrics)
+    before = metrics.get(Counter.HASH_PROBE)
+    r.insert(StreamTuple("R", 0, 5))
+    assert metrics.get(Counter.HASH_PROBE) == before + 1
+
+
+def test_nested_loops_join_equality_matches_hash_join(metrics):
+    other = Metrics()
+    r1, s1, j1, sink1 = build_pair(metrics, join_cls=SymmetricHashJoin)
+    r2, s2, j2, sink2 = build_pair(other, join_cls=NestedLoopsJoin)
+    stream = [("R", 0, 5), ("S", 1, 5), ("R", 2, 7), ("S", 3, 7), ("S", 4, 5)]
+    for st, seq, key in stream:
+        (r1 if st == "R" else s1).insert(StreamTuple(st, seq, key))
+        (r2 if st == "R" else s2).insert(StreamTuple(st, seq, key))
+    assert sorted(o.lineage for o in sink1.outputs) == sorted(
+        o.lineage for o in sink2.outputs
+    )
+
+
+def test_nested_loops_join_counts_compares(metrics):
+    r, s, j, _ = build_pair(metrics, join_cls=NestedLoopsJoin)
+    for i in range(4):
+        s.insert(StreamTuple("S", i, i))
+    before = metrics.get(Counter.NL_COMPARE)
+    r.insert(StreamTuple("R", 10, 2))
+    assert metrics.get(Counter.NL_COMPARE) - before == 4  # scanned all of S
+
+
+def test_nested_loops_custom_predicate(metrics):
+    r, s, j, sink = build_pair(
+        metrics, join_cls=NestedLoopsJoin, predicate=lambda a, b: abs(a - b) <= 1
+    )
+    s.insert(StreamTuple("S", 0, 5))
+    r.insert(StreamTuple("R", 1, 6))  # band predicate matches
+    assert len(sink.outputs) == 1
+
+
+def test_left_deep_three_way_join(metrics):
+    r = StreamScan("R", 10, metrics)
+    s = StreamScan("S", 10, metrics)
+    t = StreamScan("T", 10, metrics)
+    rs = SymmetricHashJoin(r, s, metrics)
+    rst = SymmetricHashJoin(rs, t, metrics)
+    sink = OutputSink(metrics)
+    sink.attach(rst)
+    r.insert(StreamTuple("R", 0, 1))
+    s.insert(StreamTuple("S", 1, 1))
+    t.insert(StreamTuple("T", 2, 1))
+    assert len(sink.outputs) == 1
+    assert sink.outputs[0].streams == frozenset("RST")
+    # intermediate state holds the rs pair, root holds the triple
+    assert len(rs.state) == 1
+    assert len(rst.state) == 1
+
+
+def test_iter_subtree_postorder(metrics):
+    r, s, j, _ = build_pair(metrics)
+    nodes = list(j.iter_subtree())
+    assert nodes == [r, s, j]

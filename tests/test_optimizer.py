@@ -1,0 +1,124 @@
+"""Unit tests for the selectivity-feedback optimizer."""
+
+import pytest
+
+from repro.plans.optimizer import SelectivityOptimizer
+
+
+def test_no_proposal_without_evidence():
+    opt = SelectivityOptimizer(min_probes=100)
+    opt.observe("S", 10, 5)
+    assert opt.propose(("R", "S", "T")) is None
+
+
+def test_selectivity_requires_min_probes():
+    opt = SelectivityOptimizer(min_probes=100)
+    opt.observe("S", 99, 10)
+    assert opt.selectivity("S") is None
+    opt.observe("S", 1, 0)
+    assert opt.selectivity("S") == pytest.approx(0.1)
+
+
+def test_proposes_sort_by_ascending_selectivity():
+    opt = SelectivityOptimizer(min_probes=10, tolerance=0.05)
+    opt.observe("S", 100, 90)  # very unselective
+    opt.observe("T", 100, 10)  # selective
+    proposed = opt.propose(("R", "S", "T"))
+    assert proposed == ("R", "T", "S")
+
+
+def test_keeps_anchor_stream():
+    opt = SelectivityOptimizer(min_probes=10, tolerance=0.0)
+    opt.observe("S", 100, 80)
+    opt.observe("T", 100, 20)
+    proposed = opt.propose(("R", "S", "T"))
+    assert proposed[0] == "R"
+
+
+def test_tolerance_suppresses_marginal_reorderings():
+    opt = SelectivityOptimizer(min_probes=10, tolerance=0.5)
+    opt.observe("S", 100, 30)
+    opt.observe("T", 100, 20)  # only 0.1 inversion: below tolerance
+    assert opt.propose(("R", "S", "T")) is None
+
+
+def test_already_sorted_returns_none():
+    opt = SelectivityOptimizer(min_probes=10)
+    opt.observe("S", 100, 10)
+    opt.observe("T", 100, 90)
+    assert opt.propose(("R", "S", "T")) is None
+
+
+def test_observe_accumulates():
+    opt = SelectivityOptimizer(min_probes=10)
+    opt.observe("S", 5, 5)
+    opt.observe("S", 5, 0)
+    assert opt.selectivity("S") == pytest.approx(0.5)
+
+
+def test_rejects_negative_observations():
+    opt = SelectivityOptimizer()
+    with pytest.raises(ValueError):
+        opt.observe("S", -1, 0)
+    with pytest.raises(ValueError):
+        opt.observe("S", 1, -1)
+
+
+def test_rejects_negative_tolerance():
+    with pytest.raises(ValueError):
+        SelectivityOptimizer(tolerance=-0.1)
+
+
+def test_decay_tracks_drift():
+    # With decay, old evidence fades: a stream that was unselective for a
+    # long time but recently became selective flips quickly.
+    decayed = SelectivityOptimizer(min_probes=10, decay=0.5)
+    sticky = SelectivityOptimizer(min_probes=10, decay=1.0)
+    for opt in (decayed, sticky):
+        for _ in range(20):
+            opt.observe("S", 100, 90)  # long unselective history
+        for _ in range(3):
+            opt.observe("S", 100, 0)  # recent: highly selective
+    assert decayed.selectivity("S") < 0.2
+    assert sticky.selectivity("S") > 0.5
+
+
+def test_decay_validation():
+    import pytest as _pytest
+
+    with _pytest.raises(ValueError):
+        SelectivityOptimizer(decay=0.0)
+    with _pytest.raises(ValueError):
+        SelectivityOptimizer(decay=1.5)
+    with _pytest.raises(ValueError):
+        SelectivityOptimizer(cooldown=-1)
+
+
+def test_cooldown_suppresses_thrashing():
+    # Section 5.1.2: fluctuating selectivities must not cause a proposal
+    # storm.  With a cooldown, only one proposal per window is accepted.
+    opt = SelectivityOptimizer(min_probes=5, tolerance=0.0, cooldown=10)
+    order = ("R", "S", "T")
+    proposals = 0
+    flip = False
+    for round_ in range(40):
+        # selectivities flip every round: S and T keep trading places
+        s_sel, t_sel = (90, 10) if flip else (10, 90)
+        flip = not flip
+        opt.observe("S", 100, s_sel)
+        opt.observe("T", 100, t_sel)
+        proposal = opt.propose(order)
+        if proposal is not None:
+            proposals += 1
+            order = proposal
+    assert proposals <= 8  # without cooldown this would be ~40
+
+
+def test_cooldown_zero_behaves_as_before():
+    opt = SelectivityOptimizer(min_probes=10, tolerance=0.0, cooldown=0)
+    opt.observe("S", 100, 90)
+    opt.observe("T", 100, 10)
+    assert opt.propose(("R", "S", "T")) == ("R", "T", "S")
+    opt.observe("S", 100, 0)
+    opt.observe("T", 100, 100)
+    assert opt.propose(("R", "T", "S")) is not None

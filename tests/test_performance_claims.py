@@ -1,0 +1,167 @@
+"""Qualitative performance claims of the paper, asserted on the cost model.
+
+Each test pins one claim from Sections 3, 5 and 6 as a *relative* statement
+over deterministic virtual time / operation counts, so regressions in any
+strategy's cost profile are caught without depending on wall-clock noise.
+"""
+
+import pytest
+
+from repro.engine.metrics import Counter
+from repro.experiments.common import (
+    measure_frequency_sweep,
+    measure_latency,
+    measure_migration_stage,
+    measure_normal_operation,
+)
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.workloads.scenarios import chain_scenario, swap_for_case
+
+
+def by_name(rows):
+    return {r.strategy: r for r in rows}
+
+
+@pytest.fixture(scope="module")
+def stage_best():
+    return by_name(measure_migration_stage(8, window=60, case="best", seed=1))
+
+
+@pytest.fixture(scope="module")
+def stage_worst():
+    return by_name(measure_migration_stage(8, window=60, case="worst", seed=1))
+
+
+def test_jisc_fastest_during_migration_stage(stage_best):
+    jisc = stage_best["jisc"].virtual_time
+    assert jisc < stage_best["cacq"].virtual_time
+    assert jisc < stage_best["parallel_track"].virtual_time
+
+
+def test_parallel_track_pays_at_least_double_processing(stage_best):
+    # Section 3.3: every tuple is processed by both plans plus dedup/purge.
+    assert stage_best["parallel_track"].virtual_time > 2 * stage_best[
+        "jisc"
+    ].virtual_time
+
+
+def test_best_case_speedup_exceeds_worst_case(stage_best, stage_worst):
+    # Figure 8 vs Figure 7: completion overhead reduces the worst-case gap.
+    best_speedup = (
+        stage_best["parallel_track"].virtual_time / stage_best["jisc"].virtual_time
+    )
+    worst_speedup = (
+        stage_worst["parallel_track"].virtual_time / stage_worst["jisc"].virtual_time
+    )
+    assert best_speedup > worst_speedup
+
+
+def test_jisc_worst_case_does_completion_work(stage_best, stage_worst):
+    assert stage_worst["jisc"].ops.get(Counter.COMPLETION_PROBE, 0) > stage_best[
+        "jisc"
+    ].ops.get(Counter.COMPLETION_PROBE, 0)
+
+
+def test_speedup_grows_with_number_of_joins():
+    # Figure 7(b): the JISC-vs-Parallel-Track gap widens with plan size.
+    small = by_name(measure_migration_stage(4, window=60, case="best", seed=2))
+    large = by_name(measure_migration_stage(12, window=60, case="best", seed=2))
+    s_small = small["parallel_track"].virtual_time / small["jisc"].virtual_time
+    s_large = large["parallel_track"].virtual_time / large["jisc"].virtual_time
+    assert s_large > s_small
+
+
+def test_normal_operation_jisc_adds_no_overhead():
+    # Figure 9(a): JISC == plain symmetric hash join when no transition is
+    # in effect (identical op counts, not merely close).
+    series = measure_normal_operation(n_joins=8, window=50, n_tuples=4000, checkpoints=2)
+    assert (
+        series["jisc"][-1].virtual_time == series["symmetric_hash"][-1].virtual_time
+    )
+
+
+def test_normal_operation_cacq_costs_more():
+    # Figure 9(b): CACQ pays per-tuple eddy overhead and state recomputation
+    # (measured at the moderate key density of the fig9 bench).
+    series = measure_normal_operation(
+        n_joins=8, window=50, n_tuples=4000, checkpoints=2, key_domain=75
+    )
+    assert series["cacq"][-1].virtual_time > 1.4 * series["jisc"][-1].virtual_time
+
+
+def test_latency_jisc_far_below_moving_state_hash():
+    lat = measure_latency(window=100, n_joins=5, join="hash", seed=3)
+    assert lat["jisc"] < lat["moving_state"] / 2
+
+
+def test_latency_moving_state_nl_quadratic_in_window():
+    # Figure 10(b): doubling the window roughly quadruples the NL rebuild.
+    lat_small = measure_latency(window=50, n_joins=4, join="nl", seed=3)
+    lat_large = measure_latency(window=100, n_joins=4, join="nl", seed=3)
+    assert lat_large["moving_state"] > 2.5 * lat_small["moving_state"]
+
+
+def test_latency_moving_state_hash_subquadratic():
+    lat_small = measure_latency(window=50, n_joins=4, join="hash", seed=3)
+    lat_large = measure_latency(window=100, n_joins=4, join="hash", seed=3)
+    ratio = lat_large["moving_state"] / lat_small["moving_state"]
+    assert ratio < 3.0  # linear-ish growth
+
+
+def test_frequency_sweep_jisc_always_ahead():
+    # Figures 11/12: JISC beats CACQ and Parallel Track at any frequency
+    # (periods scaled as multiples of the window turnover, the paper's
+    # regime — see bench_fig11).
+    turnover = 50 * 7
+    rows = measure_frequency_sweep(
+        6,
+        periods=[5 * turnover, 20 * turnover],
+        window=50,
+        n_tuples=40 * turnover,
+        case="worst",
+        seed=4,
+    )
+    by_period = {}
+    for r in rows:
+        by_period.setdefault(r.extra["period"], {})[r.strategy] = r.virtual_time
+    for d in by_period.values():
+        assert d["jisc"] < d["cacq"]
+        assert d["jisc"] < d["parallel_track"]
+
+
+def test_parallel_track_degrades_with_frequency_cacq_flat():
+    turnover = 50 * 7
+    rows = measure_frequency_sweep(
+        6,
+        periods=[5 * turnover, 20 * turnover],
+        window=50,
+        n_tuples=40 * turnover,
+        case="worst",
+        seed=4,
+    )
+    by_period = {}
+    for r in rows:
+        by_period.setdefault(r.extra["period"], {})[r.strategy] = r.virtual_time
+    fast, slow = by_period[float(5 * turnover)], by_period[float(20 * turnover)]
+    # more frequent transitions hurt Parallel Track...
+    assert fast["parallel_track"] > slow["parallel_track"] * 1.1
+    # ...but CACQ does not care (Section 6.4)
+    assert fast["cacq"] == pytest.approx(slow["cacq"], rel=0.05)
+
+
+def test_moving_state_total_work_close_to_jisc():
+    # Section 5.1.1: same work overall, different latency profile.
+    sc = chain_scenario(5, 3000, 50, seed=6)
+    swapped = swap_for_case(sc.order, "worst")
+    totals = {}
+    for cls in (JISCStrategy, MovingStateStrategy):
+        st = cls(sc.schema, sc.order)
+        for tup in sc.tuples[:1500]:
+            st.process(tup)
+        st.transition(swapped)
+        for tup in sc.tuples[1500:]:
+            st.process(tup)
+        totals[st.name] = st.now()
+    ratio = totals["moving_state"] / totals["jisc"]
+    assert 0.8 < ratio < 1.3

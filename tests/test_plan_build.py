@@ -1,0 +1,129 @@
+"""Unit tests for physical plan construction and state classification."""
+
+import pytest
+
+from repro.engine.metrics import Metrics
+from repro.migration.base import StaticPlanExecutor
+from repro.operators.joins import NestedLoopsJoin, SymmetricHashJoin
+from repro.operators.state import HashState
+from repro.plans.build import build_plan
+from repro.plans.spec import left_deep
+from repro.plans.transitions import classify_states
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T", "U"], window=10)
+
+
+def test_build_left_deep_plan(schema, metrics):
+    plan = build_plan(left_deep(["R", "S", "T"]), schema, metrics)
+    assert set(plan.scans) == {"R", "S", "T"}
+    assert len(plan.internal) == 2
+    assert plan.root.membership == frozenset("RST")
+    assert plan.is_left_deep()
+
+
+def test_build_bushy_plan(schema, metrics):
+    plan = build_plan((("R", "S"), ("T", "U")), schema, metrics)
+    assert len(plan.internal) == 3
+    assert not plan.is_left_deep()
+    assert plan.root.membership == frozenset("RSTU")
+
+
+def test_internal_nodes_listed_children_first(schema, metrics):
+    plan = build_plan(left_deep(["R", "S", "T", "U"]), schema, metrics)
+    sizes = [len(op.membership) for op in plan.internal]
+    assert sizes == sorted(sizes)
+
+
+def test_by_identity_lookup(schema, metrics):
+    plan = build_plan(left_deep(["R", "S", "T"]), schema, metrics)
+    op = plan.by_identity[("join", frozenset("RS"))]
+    assert op.membership == frozenset("RS")
+
+
+def test_feed_routes_to_scan(schema, metrics):
+    plan = build_plan(left_deep(["R", "S"]), schema, metrics)
+    plan.feed(StreamTuple("R", 0, 1))
+    assert len(plan.scans["R"].window) == 1
+    assert len(plan.scans["S"].window) == 0
+
+
+def test_state_of(schema, metrics):
+    plan = build_plan(left_deep(["R", "S", "T"]), schema, metrics)
+    assert plan.state_of({"R", "S"}) is plan.internal[0].state
+    with pytest.raises(KeyError):
+        plan.state_of({"R", "T"})
+
+
+def test_build_rejects_unknown_stream(schema, metrics):
+    with pytest.raises(ValueError):
+        build_plan(left_deep(["R", "X"]), schema, metrics)
+
+
+def test_build_rejects_duplicate_stream(schema, metrics):
+    with pytest.raises(ValueError):
+        build_plan(("R", ("R", "S")), schema, metrics)
+
+
+def test_scan_reuse_reparents(schema, metrics):
+    plan1 = build_plan(left_deep(["R", "S", "T"]), schema, metrics)
+    scans = plan1.scans
+    plan2 = build_plan(left_deep(["T", "S", "R"]), schema, metrics, scans=scans)
+    assert plan2.scans["R"] is plan1.scans["R"]
+    # the scan's parent now points into the new tree
+    parent = plan2.scans["R"].parent
+    assert parent in plan2.internal
+
+
+def test_state_provider_adoption(schema, metrics):
+    adopted_state = HashState()
+    adopted_state.add(StreamTuple("R", 0, 1))
+
+    def provider(identity):
+        if identity == ("join", frozenset("RS")):
+            return adopted_state
+        return None
+
+    plan = build_plan(
+        left_deep(["R", "S", "T"]), schema, metrics, state_provider=provider
+    )
+    assert plan.state_of({"R", "S"}) is adopted_state
+    assert len(plan.state_of({"R", "S", "T"})) == 0
+
+
+def test_op_factory_nested_loops(schema, metrics):
+    plan = build_plan(
+        left_deep(["R", "S"]),
+        schema,
+        metrics,
+        op_factory=lambda l, r, m: NestedLoopsJoin(l, r, m),
+    )
+    assert isinstance(plan.internal[0], NestedLoopsJoin)
+
+
+def test_classify_states_initial_plan_all_complete():
+    result = classify_states(left_deep(["R", "S", "T"]), None)
+    assert all(result.values())
+
+
+def test_classify_states_after_best_case_swap(schema, metrics):
+    old = build_plan(left_deep(["R", "S", "T", "U"]), schema, metrics)
+    new_spec = left_deep(["R", "S", "U", "T"])
+    result = classify_states(new_spec, old)
+    assert result[frozenset("RS")] is True
+    assert result[frozenset("RSU")] is False  # the swapped level
+    assert result[frozenset("RSTU")] is True  # root membership always shared
+
+
+def test_classify_states_overlap_rule(schema, metrics):
+    # Section 4.5: an old-plan state that is itself incomplete stays
+    # incomplete in the new plan even when the membership matches.
+    old = build_plan(left_deep(["R", "S", "T"]), schema, metrics)
+    old.state_of({"R", "S"}).status.mark_incomplete({1})
+    result = classify_states(left_deep(["R", "S", "T"]), old)
+    assert result[frozenset("RS")] is False
+    assert result[frozenset("RST")] is True

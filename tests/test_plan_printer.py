@@ -1,0 +1,103 @@
+"""Tests for plan parsing and pretty printing."""
+
+import pytest
+
+from repro.engine.metrics import Metrics
+from repro.plans.build import build_plan
+from repro.plans.printer import format_plan, parse_plan, render_tree
+from repro.plans.spec import left_deep
+from repro.streams.schema import Schema
+
+
+def test_format_left_deep():
+    assert format_plan(left_deep(["R", "S", "T"])) == "((R ⋈ S) ⋈ T)"
+
+
+def test_format_bushy_and_ascii_symbol():
+    spec = (("R", "S"), ("T", "U"))
+    assert format_plan(spec, join_symbol="*") == "((R * S) * (T * U))"
+
+
+def test_parse_roundtrip():
+    for spec in (
+        left_deep(["R", "S", "T", "U"]),
+        (("R", "S"), ("T", "U")),
+        ("A", ("B", ("C", "D"))),
+    ):
+        assert parse_plan(format_plan(spec)) == spec
+
+
+def test_parse_accepts_all_join_spellings():
+    expected = (("R", "S"), "T")
+    assert parse_plan("(R ⋈ S) ⋈ T") == expected
+    assert parse_plan("(R * S) * T") == expected
+    assert parse_plan("(R |x| S) |x| T") == expected
+
+
+def test_parse_is_left_associative():
+    assert parse_plan("R * S * T * U") == left_deep(["R", "S", "T", "U"])
+
+
+def test_parse_single_leaf():
+    assert parse_plan("R") == "R"
+    assert parse_plan("stream_1-a") == "stream_1-a"
+
+
+def test_parse_errors():
+    with pytest.raises(ValueError):
+        parse_plan("(R * S")  # unbalanced
+    with pytest.raises(ValueError):
+        parse_plan("R S")  # missing join symbol
+    with pytest.raises(ValueError):
+        parse_plan("R * ")  # dangling operator
+    with pytest.raises(ValueError):
+        parse_plan("(R * S)) ")  # trailing garbage
+
+
+def test_render_tree_shape():
+    out = render_tree(left_deep(["R", "S", "T"]))
+    lines = out.splitlines()
+    assert lines[0].startswith("⋈ {R,S,T}")
+    assert any("├─ ⋈ {R,S}" in line for line in lines)
+    assert any("└─ T" in line for line in lines)
+    assert any("│" in line for line in lines)
+
+
+def test_render_tree_with_live_plan_annotations():
+    schema = Schema.uniform(["R", "S", "T"], 10)
+    metrics = Metrics()
+    plan = build_plan(left_deep(["R", "S", "T"]), schema, metrics)
+    plan.state_of({"R", "S"}).status.mark_incomplete({1, 2})
+    out = render_tree(plan.spec, plan)
+    assert "INCOMPLETE pending=2" in out
+    assert "complete]" in out
+
+
+def test_strategy_plans_are_renderable():
+    from repro.migration.jisc import JISCStrategy
+
+    schema = Schema.uniform(["R", "S", "T"], 10)
+    st = JISCStrategy(schema, ("R", "S", "T"))
+    out = render_tree(st.plan.spec, st.plan)
+    assert "{R,S,T}" in out
+
+
+def test_strategies_accept_textual_plans():
+    from repro.migration.jisc import JISCStrategy
+    from repro.streams.tuples import StreamTuple
+
+    schema = Schema.uniform(["R", "S", "T"], 10)
+    st = JISCStrategy(schema, "R * S * T")
+    assert st.plan.spec == left_deep(["R", "S", "T"])
+    for i, (name, key) in enumerate([("R", 1), ("S", 1), ("T", 1)]):
+        st.process(StreamTuple(name, i, key))
+    st.transition("(S * T) * R")
+    assert st.plan.root.membership == frozenset("RST")
+    assert len(st.outputs) == 1
+
+
+def test_textual_single_stream_rejected():
+    from repro.migration.base import as_spec
+
+    with pytest.raises(ValueError):
+        as_spec("R")

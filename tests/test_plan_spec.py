@@ -1,0 +1,143 @@
+"""Unit tests for plan specs and transition analysis."""
+
+import random
+
+import pytest
+
+from repro.plans.spec import (
+    height,
+    internal_nodes,
+    is_leaf,
+    is_left_deep,
+    leaves,
+    left_deep,
+    left_deep_order,
+    membership,
+    memberships,
+    validate_spec,
+)
+from repro.plans.transitions import (
+    best_case_transition,
+    incomplete_count,
+    pairwise_exchange,
+    random_exchange,
+    worst_case_transition,
+)
+
+
+def test_left_deep_structure():
+    assert left_deep(["R", "S"]) == ("R", "S")
+    assert left_deep(["R", "S", "T"]) == (("R", "S"), "T")
+    assert left_deep(["R", "S", "T", "U"]) == ((("R", "S"), "T"), "U")
+
+
+def test_left_deep_requires_two_streams():
+    with pytest.raises(ValueError):
+        left_deep(["R"])
+
+
+def test_leaves_in_order():
+    spec = (("R", ("S", "T")), "U")
+    assert list(leaves(spec)) == ["R", "S", "T", "U"]
+
+
+def test_membership():
+    assert membership((("R", "S"), "T")) == frozenset("RST")
+    assert membership("R") == frozenset("R")
+
+
+def test_internal_nodes_postorder():
+    spec = left_deep(["R", "S", "T"])
+    nodes = list(internal_nodes(spec))
+    assert nodes == [("R", "S"), (("R", "S"), "T")]
+
+
+def test_memberships():
+    spec = left_deep(["A", "B", "C", "D"])
+    ms = memberships(spec)
+    assert ms == [frozenset("AB"), frozenset("ABC"), frozenset("ABCD")]
+
+
+def test_validate_spec_rejects_duplicates():
+    with pytest.raises(ValueError):
+        validate_spec(("R", ("R", "S")))
+
+
+def test_is_left_deep():
+    assert is_left_deep(left_deep(["R", "S", "T", "U"]))
+    assert not is_left_deep((("R", "S"), ("T", "U")))
+    assert is_left_deep("R")
+
+
+def test_left_deep_order_roundtrip():
+    order = ("A", "B", "C", "D")
+    assert left_deep_order(left_deep(order)) == order
+    with pytest.raises(ValueError):
+        left_deep_order((("R", "S"), ("T", "U")))
+
+
+def test_height():
+    assert height("R") == 0
+    assert height(left_deep(["R", "S", "T"])) == 2
+    assert height((("R", "S"), ("T", "U"))) == 2
+
+
+def test_pairwise_exchange():
+    assert pairwise_exchange(("A", "B", "C"), 0, 2) == ("C", "B", "A")
+
+
+def test_best_case_one_incomplete_state():
+    order = ("A", "B", "C", "D", "E")
+    new = best_case_transition(order)
+    assert new == ("A", "B", "C", "E", "D")
+    assert incomplete_count(order, new) == 1
+
+
+def test_worst_case_all_intermediates_incomplete():
+    order = ("A", "B", "C", "D", "E")
+    new = worst_case_transition(order)
+    assert new == ("A", "E", "C", "D", "B")
+    # all states except the root are incomplete
+    assert incomplete_count(order, new) == len(order) - 2
+
+
+def test_case_transitions_need_three_streams():
+    with pytest.raises(ValueError):
+        best_case_transition(("A", "B"))
+    with pytest.raises(ValueError):
+        worst_case_transition(("A", "B"))
+
+
+def test_incomplete_count_identity_is_zero():
+    order = ("A", "B", "C", "D")
+    assert incomplete_count(order, order) == 0
+
+
+def test_incomplete_count_matches_distance_for_adjacent_swaps():
+    # Swapping positions i, i+1 changes exactly one membership.
+    order = tuple("ABCDEF")
+    for i in range(1, len(order) - 1):
+        new = pairwise_exchange(order, i, i + 1)
+        assert incomplete_count(order, new) == 1
+
+
+def test_random_exchange_distance_equals_incomplete_count():
+    # Section 5.2: the number of incomplete states is J - I.
+    rng = random.Random(0)
+    order = tuple(f"S{i}" for i in range(12))
+    for _ in range(200):
+        new, i, j = random_exchange(order, rng)
+        assert 1 <= i < j <= len(order) - 1
+        assert incomplete_count(order, new) == j - i
+
+
+def test_random_exchange_respects_triangular_bias():
+    rng = random.Random(1)
+    order = tuple(f"S{i}" for i in range(10))
+    distances = [random_exchange(order, rng)[2] - random_exchange(order, rng)[1] for _ in range(0)]
+    # statistical check: distance 1 should be the most common
+    counts = {}
+    for _ in range(4000):
+        _, i, j = random_exchange(order, rng)
+        counts[j - i] = counts.get(j - i, 0) + 1
+    assert counts[1] == max(counts.values())

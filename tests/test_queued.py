@@ -1,0 +1,137 @@
+"""Tests for explicit input queues and safe plan transition (Section 4.1)."""
+
+import pytest
+
+from tests.helpers import assert_same_output, make_tuples, oracle_for
+from repro.engine.executor import interleave_transitions, run_events
+from repro.engine.metrics import Counter
+from repro.engine.queued import (
+    BufferedJISCStrategy,
+    BufferedStaticExecutor,
+    QueueScheduler,
+)
+from repro.migration.base import StaticPlanExecutor
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T", "U"], window=10)
+
+
+ORDER = ("R", "S", "T", "U")
+SWAPPED = ("S", "T", "U", "R")
+
+
+def feed(strategy, tuples):
+    for tup in tuples:
+        strategy.process(tup)
+
+
+def test_buffered_static_matches_synchronous(schema):
+    events = make_tuples([(s, k) for k in range(4) for s in ORDER])
+    ref = StaticPlanExecutor(schema, ORDER)
+    buf = BufferedStaticExecutor(schema, ORDER)
+    feed(ref, events)
+    feed(buf, events)
+    assert_same_output(ref, buf)
+
+
+def test_buffered_counts_queue_ops(schema):
+    buf = BufferedStaticExecutor(schema, ORDER)
+    feed(buf, make_tuples([("R", 1), ("S", 1)]))
+    assert buf.metrics.get(Counter.QUEUE_OP) > 0
+
+
+def test_queues_fill_without_auto_drain(schema):
+    buf = BufferedStaticExecutor(schema, ORDER, auto_drain=False)
+    feed(buf, make_tuples([("R", 1), ("S", 1)]))
+    assert buf.scheduler.pending() > 0
+    assert len(buf.outputs) == 0
+    buf.drain()
+    assert buf.scheduler.pending() == 0
+    # the queued rs pair now reaches the upper joins (no full output: T, U missing)
+    assert len(buf.plan.state_of("RS")) == 1
+
+
+def test_buffered_jisc_transition_drains_first(schema):
+    pre = make_tuples([(s, 7) for s in ("S", "T", "U")])
+    post = [StreamTuple("R", 10, 7)]
+    ref = oracle_for(schema, ORDER, pre + post)
+    buf = BufferedJISCStrategy(schema, ORDER, auto_drain=False)
+    feed(buf, pre)  # tuples sit in the queues
+    buf.transition(SWAPPED)  # buffer-clearing phase runs here
+    feed(buf, post)
+    buf.drain()
+    assert_same_output(ref, buf)
+
+
+def test_unsafe_transition_breaks_correctness(schema):
+    """Section 4.1's motivation: switching plans while tuples wait in the
+    input queues loses output.  All four joining tuples are in flight when
+    the unsafe transition discards the queued work; their combination can
+    never be produced again (no later arrival re-probes for it)."""
+    pre = make_tuples([(s, 7) for s in ("R", "S", "T", "U")])
+    ref = oracle_for(schema, ORDER, pre)
+    assert len(ref.outputs) == 1
+
+    safe = BufferedJISCStrategy(schema, ORDER, auto_drain=False)
+    feed(safe, pre)
+    safe.transition(SWAPPED)  # drains first: the quadruple is emitted
+    assert len(safe.outputs) == 1
+
+    unsafe = BufferedJISCStrategy(schema, ORDER, auto_drain=False)
+    feed(unsafe, pre)
+    unsafe.transition(SWAPPED, unsafe_skip_drain=True)
+    unsafe.drain()
+    assert len(unsafe.outputs) == 0  # the quadruple was lost
+
+
+def test_buffered_jisc_full_run_matches_oracle(schema):
+    tuples = make_tuples([(s, k % 3) for k in range(6) for s in ORDER])
+    events = interleave_transitions(tuples, [(8, SWAPPED), (16, ORDER)])
+    ref = StaticPlanExecutor(schema, ORDER)
+    run_events(ref, events)
+    buf = BufferedJISCStrategy(schema, ORDER)
+    run_events(buf, events)
+    assert_same_output(ref, buf)
+
+
+def test_removals_bypass_the_queue_no_expiry_race():
+    """Regression (found by fuzzing): a queued removal can lose the race
+    against a probe from another subtree, joining an arrival with expired
+    state.  Removals therefore propagate synchronously; this workload
+    (time windows, multi-eviction, transitions) used to emit an output
+    with an expired constituent."""
+    names = ("A", "B", "C", "D", "E")
+    schema = Schema.uniform(names, 2, window_kind="time")
+    import random
+
+    rng = random.Random(778)
+    tuples = [
+        StreamTuple(rng.choice(names), seq, rng.randint(0, 3)) for seq in range(120)
+    ]
+    from repro.engine.executor import interleave_transitions as weave
+    from repro.engine.executor import run_events as run
+
+    events = weave(
+        tuples,
+        [
+            (9, ("B", "C", "A", "D", "E")),
+            (68, ("A", "D", "C", "B", "E")),
+            (82, ("C", "E", "B", "D", "A")),
+        ],
+    )
+    ref = run(StaticPlanExecutor(schema, names), events)
+    buf = run(BufferedJISCStrategy(schema, names), events)
+    assert_same_output(ref, buf)
+
+
+def test_scheduler_discard_all(metrics):
+    sched = QueueScheduler(metrics)
+    sched.enqueue_process(None, None, None)
+    sched.enqueue_removal(None, ("R", 0), None, True)
+    assert sched.pending() == 2
+    assert sched.discard_all() == 2
+    assert sched.pending() == 0

@@ -1,0 +1,26 @@
+"""Smoke tests for the figure-report module."""
+
+from repro.experiments import report
+
+
+def test_report_analysis_prints_table(capsys):
+    report.report_analysis()
+    out = capsys.readouterr().out
+    assert "Section 5" in out
+    assert "E[C_n]" in out
+    assert out.count("\n") > 5
+
+
+def test_report_latency_prints_both_strategies(capsys):
+    report.report_latency([25])
+    out = capsys.readouterr().out
+    assert "moving_state" in out
+    assert "hash" in out and "nl" in out
+
+
+def test_report_migration_stage_with_charts(capsys):
+    report.report_migration_stage(30, [3], charts=True)
+    out = capsys.readouterr().out
+    assert "Figure 7" in out and "Figure 8" in out
+    assert "speedup" in out
+    assert "█" in out  # the chart rendered

@@ -1,0 +1,50 @@
+"""Unit tests for schemas and stream descriptors."""
+
+import pytest
+
+from repro.streams.schema import Schema, StreamDescriptor
+
+
+def test_descriptor_defaults():
+    d = StreamDescriptor("R")
+    assert d.window == 10_000
+
+
+def test_descriptor_rejects_bad_values():
+    with pytest.raises(ValueError):
+        StreamDescriptor("")
+    with pytest.raises(ValueError):
+        StreamDescriptor("R", window=0)
+    with pytest.raises(ValueError):
+        StreamDescriptor("R", window=-5)
+
+
+def test_schema_uniform():
+    schema = Schema.uniform(["R", "S", "T"], window=50)
+    assert schema.names == ("R", "S", "T")
+    assert all(schema.window_of(n) == 50 for n in "RST")
+
+
+def test_schema_lookup_and_contains():
+    schema = Schema((StreamDescriptor("R", 10), StreamDescriptor("S", 20)))
+    assert schema.descriptor("S").window == 20
+    assert "R" in schema
+    assert "X" not in schema
+    with pytest.raises(KeyError):
+        schema.descriptor("X")
+
+
+def test_schema_rejects_duplicates():
+    with pytest.raises(ValueError):
+        Schema((StreamDescriptor("R"), StreamDescriptor("R")))
+
+
+def test_schema_rejects_empty():
+    with pytest.raises(ValueError):
+        Schema(())
+
+
+def test_schema_mixed_windows():
+    schema = Schema((StreamDescriptor("A", 5), StreamDescriptor("B", 500)))
+    assert schema.window_of("A") == 5
+    assert schema.window_of("B") == 500

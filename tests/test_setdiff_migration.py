@@ -1,0 +1,145 @@
+"""JISC with set-difference chains (Section 4.7).
+
+The paper's example: ``(((A - B) - C) - D)`` migrates to
+``(((A - D) - B) - C)``; states AD and ADB are incomplete, ADBC is
+complete.  Inner tuples probing an incomplete state are forwarded up the
+pipeline until the first complete state, which is where the pre-transition
+outer entries live.
+
+Migration tests use the monotone suppression semantics
+(``reappear_on_inner_expiry=False``; see the operator docstring) — the
+reference executor uses the same semantics, so the comparison is exact.
+"""
+
+import pytest
+
+from tests.helpers import assert_same_output, make_tuples
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.operators.setdiff import SetDifference
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["A", "B", "C", "D"], window=20)
+
+
+ORDER = ("A", "B", "C", "D")  # ((A - B) - C) - D
+SWAPPED = ("A", "D", "B", "C")  # ((A - D) - B) - C (the paper's example)
+
+
+def monotone_factory(l, r, m):
+    return SetDifference(l, r, m, reappear_on_inner_expiry=False)
+
+
+def make_pair(schema):
+    ref = StaticPlanExecutor(schema, ORDER, op_factory=monotone_factory)
+    st = JISCStrategy(schema, ORDER, op_factory=monotone_factory)
+    return ref, st
+
+
+def feed(strategy, tuples):
+    for tup in tuples:
+        strategy.process(tup)
+
+
+def test_transition_classification_matches_paper(schema):
+    st = JISCStrategy(schema, ORDER, op_factory=monotone_factory)
+    feed(st, make_tuples([("A", 1), ("B", 2), ("C", 3), ("D", 4)]))
+    st.transition(SWAPPED)
+    assert st.plan.state_of("AD").status.complete is False
+    assert st.plan.state_of("ABD").status.complete is False
+    assert st.plan.state_of("ABCD").status.complete is True
+
+
+def test_unmatched_outer_flows_after_transition(schema):
+    ref, st = make_pair(schema)
+    pre = make_tuples([("A", 1)])
+    post = [StreamTuple("A", 10, 2)]
+    feed(ref, pre + post)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, post)
+    assert_same_output(ref, st)
+    assert len(st.outputs) == 2
+
+
+def test_inner_tuple_forwarded_to_first_complete_state(schema):
+    """A pre-transition 'a' lives only in the adopted root state; a post-
+    transition 'd' with the same key must clear it there (forwarding
+    through the incomplete AD and ABD states)."""
+    ref, st = make_pair(schema)
+    pre = make_tuples([("A", 7)])  # emitted: unmatched
+    post = [StreamTuple("D", 10, 7)]
+    feed(ref, pre + post)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, post)
+    assert_same_output(ref, st)
+    # the root state no longer contains the cleared tuple
+    assert len(st.plan.state_of("ABCD")) == 0
+    assert ("A", 0) in st.plan.sink.retractions
+
+
+def test_inner_on_complete_level_clears_normally(schema):
+    ref, st = make_pair(schema)
+    pre = make_tuples([("A", 7)])
+    post = [StreamTuple("C", 10, 7)]  # C is the new root's own inner
+    feed(ref, pre + post)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, post)
+    assert_same_output(ref, st)
+
+
+def test_post_transition_suppression_at_incomplete_level(schema):
+    ref, st = make_pair(schema)
+    pre = make_tuples([("D", 3)])
+    post = [StreamTuple("A", 10, 3)]  # matched by the pre-transition d
+    feed(ref, pre + post)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, post)
+    assert_same_output(ref, st)
+    assert len(st.outputs) == 0
+
+
+def test_mixed_workload_matches_oracle(schema):
+    keys = [1, 2, 3, 1, 4, 2, 5, 1, 6, 3, 7, 2, 8, 9, 1, 4]
+    streams = ["A", "B", "A", "C", "A", "D", "A", "B", "A", "C", "A", "D", "A", "A", "B", "A"]
+    tuples = make_tuples(list(zip(streams, keys)))
+    ref, st = make_pair(schema)
+    feed(ref, tuples)
+    feed(st, tuples[:8])
+    st.transition(SWAPPED)
+    feed(st, tuples[8:])
+    assert_same_output(ref, st)
+
+
+def test_repeated_setdiff_transitions(schema):
+    keys = [k % 5 for k in range(30)]
+    streams = [("A", "B", "C", "D")[k % 4] for k in range(30)]
+    tuples = make_tuples(list(zip(streams, keys)))
+    ref, st = make_pair(schema)
+    feed(ref, tuples)
+    feed(st, tuples[:10])
+    st.transition(SWAPPED)
+    feed(st, tuples[10:20])
+    st.transition(ORDER)
+    feed(st, tuples[20:])
+    assert_same_output(ref, st)
+
+
+def test_outer_window_expiry_after_transition():
+    schema = Schema.uniform(["A", "B", "C", "D"], window=2)
+    ref = StaticPlanExecutor(schema, ORDER, op_factory=monotone_factory)
+    st = JISCStrategy(schema, ORDER, op_factory=monotone_factory)
+    pre = make_tuples([("A", 1), ("A", 2)])
+    post = [StreamTuple("A", 10, 3), StreamTuple("A", 11, 4), StreamTuple("D", 12, 1)]
+    feed(ref, pre + post)
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, post)
+    assert_same_output(ref, st)

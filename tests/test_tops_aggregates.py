@@ -1,0 +1,99 @@
+"""Aggregates on top of migrating plans (Section 4.7).
+
+"If a count is maintained on top of the QEPs of Figure 2, it will not be
+affected by a plan transition" — the unary top chain persists across
+migrations (same operator objects, re-attached above each new root), so
+its state carries over, and its values always match those of a
+never-migrating plan.
+"""
+
+import pytest
+
+from tests.helpers import assert_same_output, make_tuples
+from repro.migration.base import StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.operators.unary import GroupByCount, Select
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T", "U"], window=8)
+
+
+ORDER = ("R", "S", "T", "U")
+SWAPPED = ("S", "T", "U", "R")
+
+
+def count_factory(child, metrics):
+    return GroupByCount(child, metrics)
+
+
+def feed(strategy, tuples):
+    for tup in tuples:
+        strategy.process(tup)
+
+
+def make_workload():
+    pre = make_tuples([(s, k) for k in (1, 2) for s in ORDER])
+    post = [StreamTuple(ORDER[i % 4], 100 + i, 1 + (i % 2)) for i in range(24)]
+    return pre, post
+
+
+@pytest.mark.parametrize("cls", [JISCStrategy, MovingStateStrategy])
+def test_count_unaffected_by_transition(schema, cls):
+    pre, post = make_workload()
+    ref = StaticPlanExecutor(schema, ORDER, top_factories=[count_factory])
+    feed(ref, pre + post)
+    st = cls(schema, ORDER, top_factories=[count_factory])
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, post)
+    ref_counts = ref.tops[0].counts
+    got_counts = st.tops[0].counts
+    assert got_counts == ref_counts
+    assert_same_output(ref, st)
+
+
+def test_top_operator_object_survives_transitions(schema):
+    st = JISCStrategy(schema, ORDER, top_factories=[count_factory])
+    top = st.tops[0]
+    feed(st, make_tuples([(s, 5) for s in ORDER]))
+    assert top.count_of(5) == 1
+    st.transition(SWAPPED)
+    assert st.tops[0] is top  # same object, state carried over
+    assert top.count_of(5) == 1
+    assert top.child is st.plan.root  # re-attached above the new root
+    assert st.plan.root.parent is top
+
+
+def test_count_decrements_across_transition_on_expiry():
+    schema = Schema.uniform(["R", "S", "T", "U"], window=1)
+    st = JISCStrategy(schema, ("R", "S", "T", "U"), top_factories=[count_factory])
+    feed(st, make_tuples([(s, 5) for s in ("R", "S", "T", "U")]))
+    assert st.tops[0].count_of(5) == 1
+    st.transition(SWAPPED)
+    # Evicting R#0 (window 1) kills the result; the count must follow even
+    # though the plan changed in between.
+    feed(st, [StreamTuple("R", 50, 9)])
+    assert st.tops[0].count_of(5) == 0
+
+
+def test_stacked_tops(schema):
+    st = JISCStrategy(
+        schema,
+        ORDER,
+        top_factories=[
+            lambda child, m: Select(child, lambda t: t.key % 2 == 1, m),
+            count_factory,
+        ],
+    )
+    pre, post = make_workload()
+    feed(st, pre)
+    st.transition(SWAPPED)
+    feed(st, post)
+    counts = st.tops[1].counts
+    assert counts and all(k % 2 == 1 for k in counts)
+    assert all(o.key % 2 == 1 for o in st.outputs)

@@ -1,0 +1,108 @@
+"""Unit tests for unary operators and the output sink."""
+
+from repro.engine.metrics import Metrics
+from repro.operators.joins import SymmetricHashJoin
+from repro.operators.scan import StreamScan
+from repro.operators.sink import OutputSink
+from repro.operators.unary import GroupByCount, Project, Select
+from repro.streams.tuples import StreamTuple
+
+
+def joined_pipeline(metrics, top_factory, window=10):
+    """scan(R) |x| scan(S) -> top_factory(join) -> sink."""
+    r = StreamScan("R", window, metrics)
+    s = StreamScan("S", window, metrics)
+    j = SymmetricHashJoin(r, s, metrics)
+    top = top_factory(j)
+    sink = OutputSink(metrics)
+    sink.attach(top)
+    return r, s, j, top, sink
+
+
+def test_select_filters(metrics):
+    r, s, j, sel, sink = joined_pipeline(
+        metrics, lambda j: Select(j, lambda t: t.key % 2 == 0, metrics)
+    )
+    for i, key in enumerate([2, 3]):
+        r.insert(StreamTuple("R", 2 * i, key))
+        s.insert(StreamTuple("S", 2 * i + 1, key))
+    assert len(sink.outputs) == 1
+    assert sink.outputs[0].key == 2
+
+
+def test_select_membership_mirrors_child(metrics):
+    _, _, j, sel, _ = joined_pipeline(
+        metrics, lambda j: Select(j, lambda t: True, metrics)
+    )
+    assert sel.membership == j.membership
+
+
+def test_select_propagates_removal_only_for_kept_tuples(metrics):
+    r, s, j, sel, sink = joined_pipeline(
+        metrics, lambda j: Select(j, lambda t: t.key == 1, metrics), window=1
+    )
+    r.insert(StreamTuple("R", 0, 1))
+    s.insert(StreamTuple("S", 1, 1))
+    assert len(sink.outputs) == 1
+    r.insert(StreamTuple("R", 2, 9))  # evicts R#0
+    assert ("R", 0) in sink.retractions
+
+
+def test_project_transforms_payload(metrics):
+    seen = []
+    r, s, j, proj, sink = joined_pipeline(
+        metrics, lambda j: Project(j, lambda t: seen.append(t.key), metrics)
+    )
+    r.insert(StreamTuple("R", 0, 7))
+    s.insert(StreamTuple("S", 1, 7))
+    assert seen == [7]
+    assert len(sink.outputs) == 1
+
+
+def test_groupby_count_increments(metrics):
+    r, s, j, gb, sink = joined_pipeline(metrics, lambda j: GroupByCount(j, metrics))
+    r.insert(StreamTuple("R", 0, 4))
+    s.insert(StreamTuple("S", 1, 4))
+    s.insert(StreamTuple("S", 2, 4))
+    assert gb.count_of(4) == 2
+    assert gb.count_of(5) == 0
+
+
+def test_groupby_count_decrements_on_expiry(metrics):
+    r, s, j, gb, sink = joined_pipeline(
+        metrics, lambda j: GroupByCount(j, metrics), window=1
+    )
+    r.insert(StreamTuple("R", 0, 4))
+    s.insert(StreamTuple("S", 1, 4))
+    assert gb.count_of(4) == 1
+    r.insert(StreamTuple("R", 2, 9))  # evicts R#0; the join result dies
+    assert gb.count_of(4) == 0
+
+
+def test_sink_records_outputs_and_times(metrics):
+    r = StreamScan("R", 5, metrics)
+    sink = OutputSink(metrics)
+    sink.attach(r)
+    r.insert(StreamTuple("R", 0, 1))
+    r.insert(StreamTuple("R", 1, 2))
+    assert len(sink.outputs) == 2
+    assert len(sink.output_times) == 2
+    assert sink.output_times[0] <= sink.output_times[1]
+
+
+def test_sink_first_output_at_or_after(metrics):
+    r = StreamScan("R", 5, metrics)
+    sink = OutputSink(metrics)
+    sink.attach(r)
+    r.insert(StreamTuple("R", 0, 1))
+    t0 = sink.output_times[0]
+    assert sink.first_output_at_or_after(0.0) == t0
+    assert sink.first_output_at_or_after(t0 + 1e9) is None
+
+
+def test_sink_output_lineages(metrics):
+    r = StreamScan("R", 5, metrics)
+    sink = OutputSink(metrics)
+    sink.attach(r)
+    r.insert(StreamTuple("R", 0, 1))
+    assert sink.output_lineages() == [(("R", 0),)]

@@ -1,0 +1,73 @@
+"""Unit tests for count-based sliding windows."""
+
+import pytest
+
+from repro.streams.tuples import StreamTuple
+from repro.streams.window import SlidingWindow
+
+
+def tup(seq, key=0):
+    return StreamTuple("R", seq, key)
+
+
+def test_push_below_capacity_returns_none():
+    w = SlidingWindow(3)
+    assert w.push(tup(0)) is None
+    assert w.push(tup(1)) is None
+    assert len(w) == 2
+
+
+def test_push_evicts_oldest_fifo():
+    w = SlidingWindow(2)
+    a, b, c = tup(0), tup(1), tup(2)
+    w.push(a)
+    w.push(b)
+    evicted = w.push(c)
+    assert evicted is a
+    assert list(w) == [b, c]
+
+
+def test_oldest_and_newest():
+    w = SlidingWindow(3)
+    assert w.oldest() is None and w.newest() is None
+    a, b = tup(0), tup(1)
+    w.push(a)
+    w.push(b)
+    assert w.oldest() is a
+    assert w.newest() is b
+
+
+def test_contains_and_snapshot():
+    w = SlidingWindow(2)
+    a, b, c = tup(0), tup(1), tup(2)
+    w.push(a)
+    w.push(b)
+    w.push(c)
+    assert a not in w
+    assert b in w and c in w
+    snap = w.snapshot()
+    snap.append(tup(99))
+    assert len(w) == 2  # snapshot is a copy
+
+
+def test_clear():
+    w = SlidingWindow(2)
+    w.push(tup(0))
+    w.clear()
+    assert len(w) == 0
+    assert w.oldest() is None
+
+
+def test_invalid_size():
+    with pytest.raises(ValueError):
+        SlidingWindow(0)
+    with pytest.raises(ValueError):
+        SlidingWindow(-1)
+
+
+def test_window_of_size_one():
+    w = SlidingWindow(1)
+    a, b = tup(0), tup(1)
+    assert w.push(a) is None
+    assert w.push(b) is a
+    assert list(w) == [b]

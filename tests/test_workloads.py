@@ -1,0 +1,78 @@
+"""Unit tests for experiment scenario builders."""
+
+import pytest
+
+from repro.engine.executor import TransitionEvent
+from repro.streams.tuples import StreamTuple
+from repro.workloads.scenarios import (
+    chain_scenario,
+    frequency_events,
+    migration_stage_events,
+    swap_for_case,
+)
+
+
+def test_chain_scenario_shape():
+    sc = chain_scenario(n_joins=4, n_tuples=100, window=10)
+    assert sc.n_joins == 4
+    assert len(sc.order) == 5
+    assert len(sc.tuples) == 100
+    assert all(sc.schema.window_of(n) == 10 for n in sc.order)
+
+
+def test_chain_scenario_key_domain_defaults_to_window():
+    sc = chain_scenario(n_joins=3, n_tuples=200, window=7)
+    assert all(0 <= t.key < 7 for t in sc.tuples)
+
+
+def test_chain_scenario_needs_two_joins():
+    with pytest.raises(ValueError):
+        chain_scenario(n_joins=1, n_tuples=10, window=5)
+
+
+def test_swap_for_case():
+    order = ("S0", "S1", "S2", "S3")
+    assert swap_for_case(order, "best") == ("S0", "S1", "S3", "S2")
+    assert swap_for_case(order, "worst") == ("S0", "S3", "S2", "S1")
+    with pytest.raises(ValueError):
+        swap_for_case(order, "median")
+
+
+def test_migration_stage_events_single_transition():
+    sc = chain_scenario(n_joins=3, n_tuples=50, window=5)
+    events = migration_stage_events(sc, warmup=20, case="best")
+    transitions = [e for e in events if isinstance(e, TransitionEvent)]
+    assert len(transitions) == 1
+    assert events.index(transitions[0]) == 20  # right after 20 tuples
+
+
+def test_migration_stage_events_warmup_bounds():
+    sc = chain_scenario(n_joins=3, n_tuples=50, window=5)
+    with pytest.raises(ValueError):
+        migration_stage_events(sc, warmup=0)
+    with pytest.raises(ValueError):
+        migration_stage_events(sc, warmup=50)
+
+
+def test_frequency_events_alternate_orders():
+    sc = chain_scenario(n_joins=3, n_tuples=100, window=5)
+    events = frequency_events(sc, period=25, case="best")
+    transitions = [e for e in events if isinstance(e, TransitionEvent)]
+    assert len(transitions) == 3  # at 25, 50, 75
+    swapped = swap_for_case(sc.order, "best")
+    assert transitions[0].new_spec == swapped
+    assert transitions[1].new_spec == sc.order
+    assert transitions[2].new_spec == swapped
+
+
+def test_frequency_events_rejects_bad_period():
+    sc = chain_scenario(n_joins=3, n_tuples=10, window=5)
+    with pytest.raises(ValueError):
+        frequency_events(sc, period=0)
+
+
+def test_tuple_count_preserved_by_event_builders():
+    sc = chain_scenario(n_joins=3, n_tuples=60, window=5)
+    events = frequency_events(sc, period=10)
+    tuples = [e for e in events if isinstance(e, StreamTuple)]
+    assert len(tuples) == 60
