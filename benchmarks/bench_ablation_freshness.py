@@ -50,7 +50,7 @@ def test_ablation_freshness_memoization(benchmark):
         lines.append(
             f"{name:>14} {d['total']:>12.0f} {d['completions']:>12d} {d['outputs']:>9d}"
         )
-    emit("ablation_freshness", lines)
+    emit("ablation_freshness", lines, data=results)
     assert results["jisc"]["outputs"] == results["naive_recheck"]["outputs"]
     assert results["naive_recheck"]["completions"] > 2 * results["jisc"]["completions"]
     assert results["naive_recheck"]["total"] > results["jisc"]["total"]

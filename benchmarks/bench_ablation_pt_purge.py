@@ -63,7 +63,7 @@ def test_ablation_parallel_track_purge(benchmark):
             f"{label:>10} {d['total']:>12.0f} {d['purge_checks']:>13d} "
             f"{d['stage_tuples']:>13d} {d['outputs']:>9d}"
         )
-    emit("ablation_pt_purge", lines)
+    emit("ablation_pt_purge", lines, data=results)
     # Same results regardless of the polling policy.
     outputs = {d["outputs"] for d in results.values()}
     assert len(outputs) == 1

@@ -53,7 +53,7 @@ def test_ablation_stairs_lazy_promotion(benchmark):
             f"{name:>14} {d['total']:>12.0f} {d['at_transition']:>12.0f} "
             f"{d['outputs']:>9d}"
         )
-    emit("ablation_stairs", lines)
+    emit("ablation_stairs", lines, data=results)
     eager, lazy = results["stairs"], results["jisc_stairs"]
     assert eager["outputs"] == lazy["outputs"]  # correctness contract
     assert lazy["at_transition"] == 0.0  # no halt whatsoever

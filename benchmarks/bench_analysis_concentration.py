@@ -55,7 +55,11 @@ def test_analysis_concentration(benchmark):
             f"{s['mean_ratio']:>7.3f} {s['chebyshev_0.2']:>10.3f}"
         )
     lines.append(f"plan-classifier mismatches over 2000 sampled exchanges: {mismatches}")
-    emit("analysis_concentration", lines)
+    emit(
+        "analysis_concentration",
+        lines,
+        data={"rows": rows, "mismatches": mismatches},
+    )
 
     assert mismatches == 0
     for n in NS:

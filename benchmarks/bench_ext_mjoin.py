@@ -46,7 +46,7 @@ def test_ext_mjoin_baseline(benchmark):
     lines = [f"{'executor':>10} {'total vt':>12} {'outputs':>9}"]
     for name, d in results.items():
         lines.append(f"{name:>10} {d['total']:>12.0f} {d['outputs']:>9d}")
-    emit("ext_mjoin", lines)
+    emit("ext_mjoin", lines, data=results)
     outputs = {d["outputs"] for d in results.values()}
     assert len(outputs) == 1  # identical results
     assert (

@@ -50,7 +50,7 @@ def test_ext_unchanged_subtrees_gain(benchmark):
             f"{row['parallel_track']:>10.2f} "
             f"{row['parallel_track'] / row['jisc']:>11.2f}"
         )
-    emit("ext_unchanged_subtrees", lines)
+    emit("ext_unchanged_subtrees", lines, data=results)
     # JISC's per-tuple migration-stage cost stays roughly flat with the
     # window; Parallel Track's grows, so the speedup widens (open-ended).
     speedups = [

@@ -39,7 +39,14 @@ def test_fig10_output_latency(benchmark):
             f"{lat['moving_state']:>13.1f} "
             f"{lat['moving_state'] / max(lat['jisc'], 1e-9):>8.1f}"
         )
-    emit("fig10_latency", lines)
+    emit(
+        "fig10_latency",
+        lines,
+        data=[
+            {"join": join, "window": window, **lat}
+            for (join, window), lat in results.items()
+        ],
+    )
 
     # (a) hash joins: Moving State latency grows ~linearly with the window.
     hash_lat = [results[("hash", w)]["moving_state"] for w in WINDOWS]

@@ -9,7 +9,7 @@ tracks, dedup, purge polling); CACQ is flat — it performs identically
 regardless of transitions.
 """
 
-from benchmarks.common import emit, once
+from benchmarks.common import emit, once, rows_json
 from repro.experiments.common import measure_frequency_sweep
 
 N_JOINS = 12
@@ -45,7 +45,7 @@ def test_fig11_transition_frequency_worst(benchmark):
             f"{period:>8d} {d['jisc']:>12.0f} {d['cacq']:>12.0f} "
             f"{d['parallel_track']:>12.0f}"
         )
-    emit("fig11_frequency_worst", lines)
+    emit("fig11_frequency_worst", lines, data=rows_json(rows))
     for d in by_period.values():
         assert d["jisc"] < d["cacq"]
         assert d["jisc"] < d["parallel_track"]

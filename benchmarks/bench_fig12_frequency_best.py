@@ -48,7 +48,7 @@ def test_fig12_transition_frequency_best(benchmark):
             f"{period:>8d} {d['jisc']:>12.0f} {d['cacq']:>12.0f} "
             f"{d['parallel_track']:>12.0f} {worst[period]['jisc']:>12.0f}"
         )
-    emit("fig12_frequency_best", lines)
+    emit("fig12_frequency_best", lines, data=results)
     for period in PERIODS:
         d = best[period]
         assert d["jisc"] < d["cacq"]

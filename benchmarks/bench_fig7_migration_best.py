@@ -8,7 +8,7 @@ tuple segment.  Reported per join count: running time (a) and the speedup
 of JISC over CACQ and Parallel Track (b).
 """
 
-from benchmarks.common import emit, once
+from benchmarks.common import emit, once, rows_json
 from repro.experiments.common import measure_migration_stage
 
 JOIN_COUNTS = (4, 8, 12, 16, 20)
@@ -41,7 +41,7 @@ def test_fig7_migration_stage_best_case(benchmark):
             f"{d['parallel_track'] / d['jisc']:>11.2f} "
             f"{d['cacq'] / d['jisc']:>13.2f}"
         )
-    emit("fig7_migration_best", lines)
+    emit("fig7_migration_best", lines, data=rows_json(rows))
     # Shape assertions (paper: JISC fastest; gap grows with joins).
     for d in by_joins.values():
         assert d["jisc"] < d["cacq"] < d["parallel_track"] * 1.5

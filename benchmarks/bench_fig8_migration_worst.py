@@ -43,7 +43,14 @@ def test_fig8_migration_stage_worst_case(benchmark):
             f"{worst['parallel_track'] / worst['jisc']:>11.2f} "
             f"{best['parallel_track'] / best['jisc']:>18.2f}"
         )
-    emit("fig8_migration_worst", lines)
+    emit(
+        "fig8_migration_worst",
+        lines,
+        data={
+            case: {n: rows[(case, n)] for n in JOIN_COUNTS}
+            for case in ("worst", "best")
+        },
+    )
     # Shape assertions: JISC still wins, by less than in the best case
     # (aggregated across join counts, as in the paper's figures).
     worst_speedups = []

@@ -11,7 +11,7 @@ because, in the latter, each tuple gets processed by the eddy operator as
 many times as for the join operators."
 """
 
-from benchmarks.common import emit, once
+from benchmarks.common import emit, once, rows_json
 from repro.experiments.common import measure_normal_operation
 
 N_JOINS = 20
@@ -45,7 +45,11 @@ def test_fig9_normal_operation(benchmark):
             f"{shj.virtual_time:>12.0f} {cacq.virtual_time:>12.0f} "
             f"{cacq.virtual_time / jisc.virtual_time:>10.2f}"
         )
-    emit("fig9_normal_operation", lines)
+    emit(
+        "fig9_normal_operation",
+        lines,
+        data={name: rows_json(rows) for name, rows in series.items()},
+    )
     # (a) zero overhead over the pure plan; (b) CACQ substantially slower.
     assert series["jisc"][-1].virtual_time == series["symmetric_hash"][-1].virtual_time
     ratio = series["cacq"][-1].virtual_time / series["jisc"][-1].virtual_time

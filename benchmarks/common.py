@@ -6,6 +6,11 @@ Every benchmark regenerates one figure of the paper's evaluation
 from the deterministic cost model — are printed and also written to
 ``benchmarks/out/<name>.txt`` so they survive output capturing.
 
+Benchmarks additionally persist a machine-readable ``BENCH_<name>.json``
+at the repo root (op counts, virtual time, outputs, per-phase counter and
+latency summaries where a tracer was attached) so the performance
+trajectory stays diffable across PRs.
+
 Scale note: the paper uses windows of 10 000 tuples and 10-20 M tuple
 streams on a Java engine; the benchmarks here run the same generators and
 protocols at windows of 50-120 and 10^4-10^5 tuples (see EXPERIMENTS.md
@@ -15,19 +20,57 @@ strategies.
 
 from __future__ import annotations
 
+import json
 import os
-from typing import Iterable
+from typing import Any, Iterable, Optional
 
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
 
-def emit(name: str, lines: Iterable[str]) -> None:
-    """Print a series table and persist it under benchmarks/out/."""
+def emit(name: str, lines: Iterable[str], data: Optional[Any] = None) -> None:
+    """Print a series table, persist it under benchmarks/out/, and — when
+    ``data`` is given — write the machine-readable ``BENCH_<name>.json``
+    next to the repo root."""
     text = "\n".join(lines)
     print(f"\n==== {name} ====\n{text}")
     os.makedirs(OUT_DIR, exist_ok=True)
     with open(os.path.join(OUT_DIR, f"{name}.txt"), "w") as fh:
         fh.write(text + "\n")
+    if data is not None:
+        emit_json(name, data)
+
+
+def emit_json(name: str, data: Any) -> None:
+    """Write ``BENCH_<name>.json`` at the repo root (diffable across PRs)."""
+    payload = {"bench": name, "data": data}
+    path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True, default=str)
+        fh.write("\n")
+
+
+def rows_json(rows: Iterable[Any]) -> list:
+    """JSON-friendly dump of :class:`~repro.experiments.common.StageResult`
+    rows, including op counts and any per-phase/latency summaries."""
+    out = []
+    for r in rows:
+        entry = {
+            "strategy": r.strategy,
+            "n_joins": r.n_joins,
+            "tuples": r.tuples,
+            "virtual_time": r.virtual_time,
+            "outputs": r.outputs,
+            "ops": dict(r.ops),
+        }
+        if r.extra:
+            entry["extra"] = dict(r.extra)
+        if r.phases:
+            entry["phases"] = {p: dict(c) for p, c in r.phases.items()}
+        if r.latency:
+            entry["latency"] = dict(r.latency)
+        out.append(entry)
+    return out
 
 
 def once(benchmark, fn):

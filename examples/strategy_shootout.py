@@ -10,9 +10,17 @@ and JISC-on-STAIRs — and reports, per strategy:
   trigger to the first output produced afterwards — Figure 10's measure);
 * output count (all must agree: the correctness contract).
 
+Every run executes with a :class:`repro.obs.tracer.RecordingTracer`
+attached, so after the score table the script prints a per-strategy
+migration timeline (transition span, lazily-completed values, output
+stall gap, promote/demote totals, Parallel Track's old-plan discard) and
+exports one JSONL trace per strategy under ``traces/`` — render any of
+them later with ``python -m repro.obs.report traces/<name>.jsonl``.
+
 Run:  python examples/strategy_shootout.py [n_joins] [window]
 """
 
+import os
 import sys
 
 from repro import (
@@ -21,9 +29,11 @@ from repro import (
     JISCStrategy,
     MovingStateStrategy,
     ParallelTrackStrategy,
+    RecordingTracer,
     STAIRSExecutor,
     StaticPlanExecutor,
 )
+from repro.obs.report import timeline
 from repro.workloads.scenarios import chain_scenario, swap_for_case
 
 STRATEGIES = (
@@ -35,6 +45,8 @@ STRATEGIES = (
     STAIRSExecutor,
     JISCStairsExecutor,
 )
+
+TRACE_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "traces")
 
 
 def first_output_latency(strategy, trigger_time: float) -> float:
@@ -49,6 +61,28 @@ def first_output_latency(strategy, trigger_time: float) -> float:
         if when >= trigger_time:
             return when - trigger_time
     return float("nan")
+
+
+def describe_timeline(name: str, tracer: RecordingTracer) -> str:
+    rows = timeline(tracer.as_trace())
+    if not rows:
+        return f"{name:>16}: no transition recorded"
+    row = rows[0]
+    stall = f"{row['stall']:.1f}" if row["stall"] is not None else "n/a"
+    parts = [
+        f"transition cost {row['transition_cost']:.1f}",
+        f"{row['completed_values']} value(s) completed lazily"
+        f" (cost {row['completion_cost']:.1f})",
+        f"output stall {stall}",
+    ]
+    if row["promotes"] or row["demotes"]:
+        parts.append(f"promotes {row['promotes']}, demotes {row['demotes']}")
+    if row["migration_end"] is not None:
+        parts.append(
+            f"old plan discarded {row['migration_end'] - row['start']:.1f}"
+            " after the trigger"
+        )
+    return f"{name:>16}: " + "; ".join(parts)
 
 
 def main() -> None:
@@ -66,19 +100,29 @@ def main() -> None:
     print(header)
     print("-" * len(header))
 
+    os.makedirs(TRACE_DIR, exist_ok=True)
     reference_count = None
+    timelines = []
     for cls in STRATEGIES:
         strategy = cls(scenario.schema, scenario.order)
+        tracer = RecordingTracer()
+        tracer.attach(strategy)
         for tup in scenario.tuples[:warmup]:
             strategy.process(tup)
         trigger = strategy.metrics.clock.now
         strategy.transition(swapped)
         for tup in scenario.tuples[warmup:]:
             strategy.process(tup)
+        if tracer.counts_total() != strategy.metrics.counts:
+            raise SystemExit(
+                f"{strategy.name}: per-phase counters diverged from Metrics!"
+            )
         latency = first_output_latency(strategy, trigger)
         n_out = len(strategy.outputs)
         print(f"{strategy.name:>16} {strategy.metrics.clock.now:>14.0f} "
               f"{latency:>10.1f} {n_out:>9d}")
+        timelines.append(describe_timeline(strategy.name, tracer))
+        tracer.export_jsonl(os.path.join(TRACE_DIR, f"{strategy.name}.jsonl"))
         if reference_count is None:
             reference_count = n_out
         elif n_out != reference_count:
@@ -86,6 +130,12 @@ def main() -> None:
 
     print("\nall strategies produced identical output counts "
           f"({reference_count} results)")
+
+    print("\nmigration timelines (from the recorded traces):")
+    for line in timelines:
+        print(line)
+    print(f"\nJSONL traces written to {TRACE_DIR}/ — inspect one with\n"
+          f"  python -m repro.obs.report {os.path.join(TRACE_DIR, 'jisc.jsonl')}")
 
 
 if __name__ == "__main__":

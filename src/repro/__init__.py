@@ -20,6 +20,10 @@ Plans and transitions::
 
     from repro import left_deep, best_case_transition, worst_case_transition
 
+Observability (see docs/OBSERVABILITY.md)::
+
+    from repro import RecordingTracer, load_trace, render_report
+
 Section 5 analysis::
 
     from repro.analysis import expected_complete_states, monte_carlo_summary
@@ -62,6 +66,7 @@ from repro.migration import (
     MJoinExecutor,
 )
 from repro.eddy import CACQExecutor, STAIRSExecutor, JISCStairsExecutor
+from repro.obs import RecordingTracer, Tracer, load_trace
 from repro.workloads import chain_scenario, migration_stage_events, frequency_events
 
 __version__ = "1.0.0"
@@ -96,8 +101,22 @@ __all__ = [
     "CACQExecutor",
     "STAIRSExecutor",
     "JISCStairsExecutor",
+    "RecordingTracer",
+    "Tracer",
+    "load_trace",
+    "render_report",
     "chain_scenario",
     "migration_stage_events",
     "frequency_events",
     "__version__",
 ]
+
+
+def __getattr__(name):
+    # Lazy, mirroring repro.obs: keeps ``python -m repro.obs.report`` free
+    # of the runpy already-imported RuntimeWarning.
+    if name == "render_report":
+        from repro.obs.report import render_report
+
+        return render_report
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

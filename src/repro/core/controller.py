@@ -24,6 +24,7 @@ from typing import Any, Dict, Optional, Set
 from repro.core.completion import complete_value_left_deep, complete_value_recursive
 from repro.core.freshness import FreshnessRegistry
 from repro.engine.metrics import Metrics
+from repro.obs.tracer import PHASE_COMPLETING
 from repro.operators.base import BinaryOperator, Operator
 from repro.plans.build import PhysicalPlan
 from repro.streams.tuples import CompositeTuple, StreamTuple
@@ -135,10 +136,31 @@ class JISCController:
             return
         if not self.needs_completion(opposite, tup.key):
             return
-        if self._use_left_deep:
-            complete_value_left_deep(self, opposite, tup.key)
-        else:
-            complete_value_recursive(self, opposite, tup.key)
+        tracer = self.metrics.tracer
+        if not tracer.enabled:
+            if self._use_left_deep:
+                complete_value_left_deep(self, opposite, tup.key)
+            else:
+                complete_value_recursive(self, opposite, tup.key)
+            return
+        # Traced path: completion work runs in the "completing" phase and
+        # leaves one span per (state, value) — the unit the paper's lazy
+        # migration cost is paid in.
+        clock = self.metrics.clock
+        start = clock.now if clock is not None else 0.0
+        prev = tracer.set_phase(PHASE_COMPLETING)
+        try:
+            if self._use_left_deep:
+                complete_value_left_deep(self, opposite, tup.key)
+            else:
+                complete_value_recursive(self, opposite, tup.key)
+        finally:
+            tracer.completion(
+                "".join(sorted(opposite.membership)),
+                tup.key,
+                cost=(clock.now if clock is not None else 0.0) - start,
+            )
+            tracer.set_phase(prev)
 
     # -- completion bookkeeping --------------------------------------------------
 

@@ -122,6 +122,15 @@ def perform_jisc_transition(
         op for op in new_plan.internal if not op.state.status.complete
     }
     controller.freshness.note_transition(transition_seq)
+    tracer = metrics.tracer
+    if tracer.enabled:
+        tracer.note(
+            "jisc_adoption",
+            seq=transition_seq,
+            adopted=len(adopted),
+            new_states=len(new_plan.internal) - len(adopted),
+            incomplete=len(controller.incomplete_ops),
+        )
     controller.attach(new_plan)
     # Re-derive incomplete set after attach (attach recomputes it from the
     # plan, which is identical, but keeps one source of truth).

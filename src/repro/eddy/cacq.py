@@ -60,6 +60,9 @@ class CACQExecutor:
     # -- strategy interface ------------------------------------------------------
 
     def process(self, tup: StreamTuple) -> None:
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.arrival(tup)
         self.stems[tup.stream].insert(tup)
         # The arriving tuple enters the eddy once; each partial produced by
         # a SteM probe returns to the eddy for its next routing decision.
@@ -83,17 +86,24 @@ class CACQExecutor:
         for result in partials:
             self.metrics.count(Counter.OUTPUT)
             self.outputs.append(result)
-            self.output_times.append(
-                clock.now if clock is not None else float(len(self.outputs))
-            )
+            when = clock.now if clock is not None else float(len(self.outputs))
+            self.output_times.append(when)
+            if tracer.enabled:
+                tracer.output(result, when)
 
     def transition(self, new_spec) -> None:
         """Adopt a new routing order; CACQ migrates no state."""
         new_routing = tuple(leaves(as_spec(new_spec)))
         if set(new_routing) != set(self.routing):
             raise ValueError("transition must preserve the stream set")
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            # CACQ tracks no arrival sequence of its own; -1 marks "n/a".
+            tracer.transition_start(self.name, -1, routing=list(new_routing))
         self.routing = new_routing
         self.policy.on_transition(new_routing)
+        if tracer.enabled:
+            tracer.transition_end(self.name, -1, cost=0.0)
 
     def output_lineages(self) -> List[Tuple]:
         return [tup.lineage for tup in self.outputs]

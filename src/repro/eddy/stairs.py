@@ -67,20 +67,27 @@ class STAIRSExecutor(MovingStateStrategy):
             schema, initial_spec, metrics or _eddy_metrics(cost_model), join, cost_model
         )
 
-    def transition(self, new_spec) -> None:
+    def _do_transition(self, new_spec) -> None:
         old_plan = self.plan
+        tracer = self.metrics.tracer
         new_members = {membership(node) for node in internal_nodes(as_spec(new_spec))}
         # Demote: every entry of a state that does not survive the routing
         # change is pushed back down (discarded).
+        demoted = 0
         for op in old_plan.internal:
             if op.membership not in new_members:
                 self.metrics.count_n(Counter.DEMOTE, len(op.state))
+                demoted += len(op.state)
+        if tracer.enabled and demoted:
+            tracer.demote(demoted)
         before = self.metrics.get(Counter.HASH_INSERT)
-        super().transition(new_spec)
+        super()._do_transition(new_spec)
         # Promote: every entry materialized while eagerly rebuilding the
         # missing states was promoted up the STAIR hierarchy.
         promoted = self.metrics.get(Counter.HASH_INSERT) - before
         self.metrics.count_n(Counter.PROMOTE, promoted)
+        if tracer.enabled and promoted:
+            tracer.promote(promoted)
 
 
 class JISCStairsExecutor(JISCStrategy):

@@ -51,6 +51,13 @@ def checkpoint_strategy(strategy: MigrationStrategy) -> Dict[str, Any]:
     """Capture ``strategy``'s full execution state."""
     if strategy.name not in _STRATEGY_KINDS:
         raise ValueError(f"checkpointing is not supported for {strategy.name!r}")
+    tracer = strategy.metrics.tracer
+    if tracer.enabled:
+        tracer.checkpoint(
+            strategy.name,
+            last_seq=strategy._last_seq,
+            outputs=len(strategy.outputs),
+        )
     plan = strategy.plan
     schema = strategy.schema
     data: Dict[str, Any] = {

@@ -51,8 +51,18 @@ class StrategyExecutor(Protocol):
         ...
 
 
-def run_events(strategy: StrategyExecutor, events: Iterable[Event]) -> StrategyExecutor:
-    """Drive ``strategy`` through ``events``; returns the strategy."""
+def run_events(
+    strategy: StrategyExecutor, events: Iterable[Event], tracer=None
+) -> StrategyExecutor:
+    """Drive ``strategy`` through ``events``; returns the strategy.
+
+    Pass a :class:`~repro.obs.tracer.RecordingTracer` as ``tracer`` to
+    attach it to the strategy's metrics before the first event — every
+    span, phase-attributed counter and output latency of the run is then
+    captured (see :mod:`repro.obs`).
+    """
+    if tracer is not None:
+        tracer.attach(strategy)
     for event in events:
         if isinstance(event, TransitionEvent):
             strategy.transition(event.new_spec)

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from typing import Dict
 
+from repro.obs.tracer import NULL_TRACER
+
 
 class Counter:
     """Names of the primitive operations the engine counts."""
@@ -53,19 +55,27 @@ class Metrics:
 
     ``clock`` (a :class:`~repro.engine.cost.VirtualClock`) is advanced on
     every counted operation; pass ``None`` to count without timing.
+
+    ``tracer`` (see :mod:`repro.obs.tracer`) attributes every counted
+    operation to the current execution phase; the default is the shared
+    no-op :data:`~repro.obs.tracer.NULL_TRACER`, which records nothing and
+    never perturbs the counters themselves.
     """
 
-    __slots__ = ("counts", "clock")
+    __slots__ = ("counts", "clock", "tracer")
 
-    def __init__(self, clock=None):
+    def __init__(self, clock=None, tracer=None):
         self.counts: Dict[str, int] = {}
         self.clock = clock
+        self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def count(self, op: str) -> None:
         """Record one occurrence of ``op``."""
         self.counts[op] = self.counts.get(op, 0) + 1
         if self.clock is not None:
             self.clock.tick(op, 1)
+        if self.tracer.enabled:
+            self.tracer.on_count(op, 1)
 
     def count_n(self, op: str, n: int) -> None:
         """Record ``n`` occurrences of ``op`` at once."""
@@ -74,6 +84,8 @@ class Metrics:
         self.counts[op] = self.counts.get(op, 0) + n
         if self.clock is not None:
             self.clock.tick(op, n)
+        if self.tracer.enabled:
+            self.tracer.on_count(op, n)
 
     def get(self, op: str) -> int:
         return self.counts.get(op, 0)

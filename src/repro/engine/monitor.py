@@ -13,8 +13,9 @@ Parallel Track strategy is sampled across all live tracks.
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional
+from typing import Any, Deque, Dict, Optional
 
 
 @dataclass(frozen=True)
@@ -42,7 +43,11 @@ class QueryMonitor:
             raise ValueError("max_history must be positive")
         self.strategy = strategy
         self.max_history = max_history
-        self.history: List[Snapshot] = []
+        # Bounded ring: appending to a full deque evicts the oldest
+        # snapshot in O(1); ``dropped`` counts evictions so the derived
+        # measures can report that their window was truncated.
+        self.history: Deque[Snapshot] = deque(maxlen=max_history)
+        self.dropped = 0
         self._tuples_seen = 0
 
     # -- sampling -------------------------------------------------------------------
@@ -78,9 +83,9 @@ class QueryMonitor:
             incomplete_states=incomplete,
             live_plans=len(plans),
         )
+        if len(self.history) == self.max_history:
+            self.dropped += 1
         self.history.append(snap)
-        if len(self.history) > self.max_history:
-            del self.history[: len(self.history) - self.max_history]
         return snap
 
     def _plans(self):
@@ -104,7 +109,12 @@ class QueryMonitor:
         return max(latest.state_sizes, key=latest.state_sizes.get)
 
     def throughput(self) -> float:
-        """Outputs per unit of virtual time over the sampled range."""
+        """Outputs per unit of virtual time over the *retained* range.
+
+        When snapshots have been evicted (``dropped > 0``) the range no
+        longer starts at the beginning of the run — check
+        ``window_truncated()`` before treating this as a whole-run rate.
+        """
         if len(self.history) < 2:
             return 0.0
         first, last = self.history[0], self.history[-1]
@@ -114,20 +124,31 @@ class QueryMonitor:
         return (last.outputs - first.outputs) / span
 
     def output_stall(self) -> float:
-        """Longest virtual-time gap between snapshots without new output.
+        """Longest virtual-time gap between retained snapshots without new
+        output.
 
         A large stall around a transition is the Moving State signature;
         JISC keeps this near the inter-output spacing (Section 5.1.1).
+        Stalls that happened before the oldest retained snapshot are
+        invisible once the ring has wrapped (``window_truncated()``).
         """
         worst = 0.0
-        for prev, cur in zip(self.history, self.history[1:]):
-            if cur.outputs == prev.outputs:
+        prev: Optional[Snapshot] = None
+        for cur in self.history:
+            if prev is not None and cur.outputs == prev.outputs:
                 worst = max(worst, cur.virtual_time - prev.virtual_time)
+            prev = cur
         return worst
+
+    def window_truncated(self) -> bool:
+        """Has the bounded history evicted snapshots (shortened window)?"""
+        return self.dropped > 0
 
     def summary(self) -> Dict[str, Any]:
         return {
             "samples": len(self.history),
+            "dropped": self.dropped,
+            "window_truncated": self.window_truncated(),
             "peak_entries": self.peak_entries(),
             "largest_state": self.largest_state(),
             "throughput": self.throughput(),

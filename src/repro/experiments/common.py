@@ -28,6 +28,7 @@ from repro.migration.base import StaticPlanExecutor
 from repro.migration.jisc import JISCStrategy
 from repro.migration.moving_state import MovingStateStrategy
 from repro.migration.parallel_track import ParallelTrackStrategy
+from repro.obs.tracer import RecordingTracer
 from repro.workloads.scenarios import ChainScenario, chain_scenario, swap_for_case
 
 StrategyFactory = Callable[[ChainScenario], object]
@@ -47,7 +48,12 @@ DEFAULT_FACTORIES: Dict[str, StrategyFactory] = {
 
 @dataclass
 class StageResult:
-    """One measured series point."""
+    """One measured series point.
+
+    ``phases`` (per-phase op counters) and ``latency`` (per-phase
+    arrival->emit percentile summaries) are filled when the measurement
+    ran with a :class:`~repro.obs.tracer.RecordingTracer` attached.
+    """
 
     strategy: str
     n_joins: int
@@ -55,6 +61,22 @@ class StageResult:
     virtual_time: float
     ops: Dict[str, int] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
+    outputs: int = 0
+    phases: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+
+def _observe(strategy) -> RecordingTracer:
+    """Attach a fresh recording tracer to ``strategy`` and return it."""
+    tracer = RecordingTracer()
+    tracer.attach(strategy)
+    return tracer
+
+
+def _tracer_summaries(tracer: RecordingTracer):
+    phases = {p: dict(c) for p, c in tracer.phase_counts.items()}
+    latency = {p: h.summary() for p, h in tracer.latency.items()}
+    return phases, latency
 
 
 def _run_tuples(strategy, tuples: Sequence) -> None:
@@ -108,6 +130,7 @@ def measure_migration_stage(
 
     # Pass 1: Parallel Track defines the length of the migration stage.
     pt = factories.get("parallel_track", DEFAULT_FACTORIES["parallel_track"])(scenario)
+    pt_tracer = _observe(pt)
     _run_tuples(pt, scenario.tuples[:warmup])
     start_vt = pt.now()
     start_ops = pt.metrics.snapshot()
@@ -123,6 +146,7 @@ def measure_migration_stage(
             "migration stage did not end within the generated workload; "
             "increase the post-transition slack"
         )
+    phases, latency = _tracer_summaries(pt_tracer)
     results = [
         StageResult(
             "parallel_track",
@@ -130,6 +154,9 @@ def measure_migration_stage(
             stage_len,
             pt.now() - start_vt,
             pt.metrics.diff(start_ops),
+            outputs=len(pt.outputs),
+            phases=phases,
+            latency=latency,
         )
     ]
 
@@ -139,11 +166,13 @@ def measure_migration_stage(
         if name == "parallel_track":
             continue
         strategy = factory(scenario)
+        tracer = _observe(strategy)
         _run_tuples(strategy, scenario.tuples[:warmup])
         start_vt = strategy.metrics.clock.now
         start_ops = strategy.metrics.snapshot()
         strategy.transition(new_order)
         _run_tuples(strategy, stage_tuples)
+        phases, latency = _tracer_summaries(tracer)
         results.append(
             StageResult(
                 name,
@@ -151,6 +180,9 @@ def measure_migration_stage(
                 stage_len,
                 strategy.metrics.clock.now - start_vt,
                 strategy.metrics.diff(start_ops),
+                outputs=len(strategy.outputs),
+                phases=phases,
+                latency=latency,
             )
         )
     return results
@@ -186,7 +218,14 @@ def measure_normal_operation(
             _run_tuples(strategy, chunk)
             done += len(chunk)
             series[name].append(
-                StageResult(name, n_joins, done, strategy.metrics.clock.now)
+                StageResult(
+                    name,
+                    n_joins,
+                    done,
+                    strategy.metrics.clock.now,
+                    ops=strategy.metrics.snapshot(),
+                    outputs=len(strategy.outputs),
+                )
             )
     return series
 
@@ -255,7 +294,9 @@ def measure_frequency_sweep(
                     n_joins,
                     n_tuples,
                     strategy.metrics.clock.now,
+                    ops=strategy.metrics.snapshot(),
                     extra={"period": float(period)},
+                    outputs=len(strategy.outputs),
                 )
             )
     return results

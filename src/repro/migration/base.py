@@ -6,6 +6,7 @@ from typing import Any, Callable, List, Optional, Sequence, Tuple
 
 from repro.engine.cost import CostModel, VirtualClock
 from repro.engine.metrics import Metrics
+from repro.obs.tracer import PHASE_MIGRATING
 from repro.operators.joins import NestedLoopsJoin, SymmetricHashJoin
 from repro.plans.build import OpFactory, PhysicalPlan, build_plan
 from repro.plans.spec import PlanSpec, left_deep
@@ -128,9 +129,35 @@ class MigrationStrategy:
 
     def process(self, tup: StreamTuple) -> None:
         self._last_seq = max(self._last_seq, tup.seq)
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.arrival(tup)
         self.plan.feed(tup)
 
     def transition(self, new_spec) -> None:
+        """Switch to ``new_spec`` via the strategy's ``_do_transition``.
+
+        The wrapper owns the observability contract shared by every
+        strategy: the transition call is a traced span
+        (``transition_start`` / ``transition_end`` carrying its virtual
+        cost) and everything inside runs in the ``"migrating"`` phase.
+        """
+        tracer = self.metrics.tracer
+        if not tracer.enabled:
+            self._do_transition(new_spec)
+            return
+        seq = self.next_seq
+        start = self.now()
+        tracer.transition_start(self.name, seq)
+        prev = tracer.set_phase(PHASE_MIGRATING)
+        try:
+            self._do_transition(new_spec)
+        finally:
+            tracer.set_phase(prev)
+            tracer.transition_end(self.name, seq, cost=self.now() - start)
+
+    def _do_transition(self, new_spec) -> None:
+        """Strategy-specific migration policy (override in subclasses)."""
         raise NotImplementedError
 
     @property
@@ -166,5 +193,5 @@ class StaticPlanExecutor(MigrationStrategy):
 
     name = "static"
 
-    def transition(self, new_spec) -> None:
+    def _do_transition(self, new_spec) -> None:
         return None

@@ -59,7 +59,7 @@ class JISCStrategy(MigrationStrategy):
         super().process(tup)
         self.controller.after_arrival(tup)
 
-    def transition(self, new_spec) -> None:
+    def _do_transition(self, new_spec) -> None:
         self.plan = perform_jisc_transition(
             self.plan,
             as_spec(new_spec),

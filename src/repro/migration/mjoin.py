@@ -60,6 +60,9 @@ class MJoinExecutor:
     # -- strategy interface -----------------------------------------------------
 
     def process(self, tup: StreamTuple) -> None:
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.arrival(tup)
         window = self.windows[tup.stream]
         table = self.tables[tup.stream]
         for evicted in window.push_all(tup):
@@ -86,9 +89,10 @@ class MJoinExecutor:
         for result in partials:
             self.metrics.count(Counter.OUTPUT)
             self.outputs.append(result)
-            self.output_times.append(
-                clock.now if clock is not None else float(len(self.outputs))
-            )
+            when = clock.now if clock is not None else float(len(self.outputs))
+            self.output_times.append(when)
+            if tracer.enabled:
+                tracer.output(result, when)
 
     def probe_order(self, stream: str) -> Tuple[str, ...]:
         """The other streams, in the current plan's bottom-up order."""
@@ -99,7 +103,12 @@ class MJoinExecutor:
         new_order = tuple(leaves(as_spec(new_spec)))
         if set(new_order) != set(self.order):
             raise ValueError("transition must preserve the stream set")
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.transition_start(self.name, -1, order=list(new_order))
         self.order = new_order
+        if tracer.enabled:
+            tracer.transition_end(self.name, -1, cost=0.0)
 
     def output_lineages(self) -> List[Tuple]:
         return [tup.lineage for tup in self.outputs]

@@ -26,7 +26,7 @@ class MovingStateStrategy(MigrationStrategy):
 
     name = "moving_state"
 
-    def transition(self, new_spec) -> None:
+    def _do_transition(self, new_spec) -> None:
         old_plan = self.plan
         adopted: Set = set()
 
@@ -50,9 +50,14 @@ class MovingStateStrategy(MigrationStrategy):
         # builder lists internal nodes children-first).  This is the
         # halting phase: the virtual clock advances for every probe and
         # insert performed here, delaying the first post-transition output.
+        rebuilt = 0
         for op in new_plan.internal:
             if op.identity not in adopted:
                 op.build_state_full()
+                rebuilt += 1
             op.state.status.mark_complete()
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.note("eager_rebuild", states=rebuilt, adopted=len(adopted))
         self.plan = new_plan
         self._install_tops()

@@ -23,6 +23,7 @@ from typing import Any, List, Optional, Set, Tuple
 from repro.engine.cost import CostModel
 from repro.engine.metrics import Counter, Metrics
 from repro.migration.base import MigrationStrategy, as_spec
+from repro.obs.tracer import PHASE_MIGRATING
 from repro.plans.build import PhysicalPlan, build_plan
 from repro.streams.schema import Schema
 from repro.streams.tuples import StreamTuple
@@ -83,16 +84,29 @@ class ParallelTrackStrategy(MigrationStrategy):
 
     def process(self, tup: StreamTuple) -> None:
         self._last_seq = max(self._last_seq, tup.seq)
-        for track in self.tracks:
-            track.plan.feed(tup)
-        self._collect()
-        if len(self.tracks) > 1:
-            self._since_check += 1
-            if self._since_check >= self.purge_check_interval:
-                self._since_check = 0
-                self._purge_old_tracks()
+        tracer = self.metrics.tracer
+        # The migration phase of Parallel Track is not the transition call
+        # (which only spawns the new track) but the whole multi-track
+        # period: every tuple processed while more than one plan is live
+        # is migration work.
+        migrating = tracer.enabled and len(self.tracks) > 1
+        if tracer.enabled:
+            tracer.arrival(tup)
+        prev = tracer.set_phase(PHASE_MIGRATING) if migrating else None
+        try:
+            for track in self.tracks:
+                track.plan.feed(tup)
+            self._collect()
+            if len(self.tracks) > 1:
+                self._since_check += 1
+                if self._since_check >= self.purge_check_interval:
+                    self._since_check = 0
+                    self._purge_old_tracks()
+        finally:
+            if prev is not None:
+                tracer.set_phase(prev)
 
-    def transition(self, new_spec) -> None:
+    def _do_transition(self, new_spec) -> None:
         plan = build_plan(
             as_spec(new_spec),
             self.schema,
@@ -133,6 +147,11 @@ class ParallelTrackStrategy(MigrationStrategy):
             if len(self.tracks) == 1:
                 # Migration over: the dedup memo is no longer needed.
                 self._seen.clear()
+                tracer = self.metrics.tracer
+                if tracer.enabled:
+                    tracer.migration_end(
+                        self.name, successor_birth_seq=self.tracks[0].birth_seq
+                    )
         return
 
     def _only_new_entries(self, plan: PhysicalPlan, threshold: int) -> bool:

@@ -1,0 +1,47 @@
+"""Observability: migration-aware tracing, phase counters, latency, reports.
+
+See :mod:`repro.obs.tracer` for the tracer model, :mod:`repro.obs.report`
+for the timeline CLI (``python -m repro.obs.report trace.jsonl``), and
+``docs/OBSERVABILITY.md`` for the JSONL schema and usage guide.
+"""
+
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.tracer import (
+    NULL_TRACER,
+    PHASE_COMPLETING,
+    PHASE_MIGRATING,
+    PHASE_STEADY,
+    PHASES,
+    RecordingTracer,
+    Trace,
+    TraceEvent,
+    Tracer,
+    load_trace,
+    parse_jsonl,
+)
+__all__ = [
+    "LatencyHistogram",
+    "NULL_TRACER",
+    "PHASE_COMPLETING",
+    "PHASE_MIGRATING",
+    "PHASE_STEADY",
+    "PHASES",
+    "RecordingTracer",
+    "Trace",
+    "TraceEvent",
+    "Tracer",
+    "load_trace",
+    "parse_jsonl",
+    "render_report",
+    "timeline",
+]
+
+
+def __getattr__(name):
+    # Lazy: importing repro.obs.report here would pre-load the module and
+    # make ``python -m repro.obs.report`` emit a runpy RuntimeWarning.
+    if name in ("render_report", "timeline"):
+        from repro.obs import report
+
+        return getattr(report, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

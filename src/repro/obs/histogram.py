@@ -1,0 +1,146 @@
+"""Bounded-memory latency histograms.
+
+Per-output latency (virtual time from the triggering arrival to the emit
+at the sink) is the signal the paper's latency experiment (Figure 10) and
+Megaphone-style migration evaluations are built on.  Recording every
+sample would make traces unbounded, so :class:`LatencyHistogram` keeps
+geometric buckets plus exact ``count/min/max/sum`` — percentiles are
+interpolated within the matching bucket, which is accurate to the bucket
+growth factor (default 1.25, i.e. within 25 %) regardless of sample count.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+
+class LatencyHistogram:
+    """Geometric-bucket histogram over non-negative values.
+
+    Bucket ``i`` (``i >= 1``) covers ``(least * growth**(i-1), least *
+    growth**i]``; bucket 0 covers ``[0, least]``.  Values beyond the last
+    bucket are clamped into it (``max`` stays exact).
+    """
+
+    __slots__ = ("least", "growth", "buckets", "count", "total", "min", "max")
+
+    def __init__(self, least: float = 1.0, growth: float = 1.25, n_buckets: int = 96):
+        if least <= 0 or growth <= 1 or n_buckets < 2:
+            raise ValueError("need least > 0, growth > 1, n_buckets >= 2")
+        self.least = least
+        self.growth = growth
+        self.buckets: List[int] = [0] * n_buckets
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    # -- recording -------------------------------------------------------------------
+
+    def add(self, value: float) -> None:
+        if value < 0:
+            raise ValueError("latencies are non-negative")
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        self.buckets[self._index(value)] += 1
+
+    def _index(self, value: float) -> int:
+        if value <= self.least:
+            return 0
+        i = 1
+        bound = self.least * self.growth
+        last = len(self.buckets) - 1
+        while value > bound and i < last:
+            bound *= self.growth
+            i += 1
+        return i
+
+    def _upper_bound(self, index: int) -> float:
+        return self.least * self.growth ** index
+
+    # -- queries ---------------------------------------------------------------------
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` (0-100), bucket-interpolated."""
+        if not 0 <= p <= 100:
+            raise ValueError("percentile must be in [0, 100]")
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for i, n in enumerate(self.buckets):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                upper = min(self._upper_bound(i), self.max or 0.0)
+                lower = 0.0 if i == 0 else self._upper_bound(i - 1)
+                lower = max(lower, self.min or 0.0)
+                if upper < lower:
+                    upper = lower
+                frac = (rank - seen) / n
+                return lower + (upper - lower) * frac
+            seen += n
+        return self.max or 0.0
+
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "min": self.min or 0.0,
+            "max": self.max or 0.0,
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other`` into this histogram (same bucket layout required)."""
+        if (other.least, other.growth, len(other.buckets)) != (
+            self.least,
+            self.growth,
+            len(self.buckets),
+        ):
+            raise ValueError("cannot merge histograms with different bucket layouts")
+        for i, n in enumerate(other.buckets):
+            self.buckets[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+
+    # -- serialization -----------------------------------------------------------------
+
+    def to_json(self) -> Dict:
+        return {
+            "least": self.least,
+            "growth": self.growth,
+            "buckets": list(self.buckets),
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+        }
+
+    @classmethod
+    def from_json(cls, data: Dict) -> "LatencyHistogram":
+        hist = cls(data["least"], data["growth"], len(data["buckets"]))
+        hist.buckets = list(data["buckets"])
+        hist.count = data["count"]
+        hist.total = data["total"]
+        hist.min = data["min"]
+        hist.max = data["max"]
+        return hist
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        s = self.summary()
+        return (
+            f"LatencyHistogram(count={s['count']}, p50={s['p50']:.1f}, "
+            f"p95={s['p95']:.1f}, p99={s['p99']:.1f})"
+        )

@@ -1,0 +1,220 @@
+"""Trace reports: migration timelines from JSONL traces.
+
+``python -m repro.obs.report trace.jsonl`` renders, in plain text:
+
+* a trace summary (events, ring-buffer drops, virtual-time span);
+* per-phase operation totals (steady / migrating / completing), whose sum
+  equals the engine's ``Metrics.counts``;
+* per-phase output-latency percentiles (arrival -> emit, virtual time);
+* the migration timeline: every transition with its virtual-time span,
+  the number of values completed lazily before the next transition
+  (JISC's deferred migration work), the output *stall gap* around the
+  transition (last output before vs. first output after — the Moving
+  State signature of Figure 10), promote/demote totals (STAIRs) and
+  Parallel Track's migration-end marker.
+
+The module doubles as a library: :func:`timeline` returns the computed
+rows and :func:`render_report` the formatted text, both accepting any
+:class:`~repro.obs.tracer.Trace` (loaded from disk or taken in-memory
+from ``RecordingTracer.as_trace()``).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.tracer import (
+    EVENT_CHECKPOINT,
+    EVENT_COMPLETION,
+    EVENT_DEMOTE,
+    EVENT_MIGRATION_END,
+    EVENT_OUTPUT,
+    EVENT_PROMOTE,
+    EVENT_TRANSITION_END,
+    EVENT_TRANSITION_START,
+    Trace,
+    load_trace,
+)
+
+
+def timeline(trace: Trace) -> List[Dict[str, Any]]:
+    """One row per transition found in ``trace``.
+
+    Keys: ``strategy``, ``seq``, ``start`` / ``end`` (virtual time of the
+    transition call), ``transition_cost``, ``completed_values`` /
+    ``completion_cost`` (lazy completions until the next transition),
+    ``stall`` (output gap around the transition start), ``promotes`` /
+    ``demotes``, ``migration_end`` (Parallel Track's old-plan discard
+    time, ``None`` elsewhere).
+    """
+    events = trace.events
+    starts = [ev for ev in events if ev.kind == EVENT_TRANSITION_START]
+    rows: List[Dict[str, Any]] = []
+    for i, start in enumerate(starts):
+        window_end = starts[i + 1].ts if i + 1 < len(starts) else float("inf")
+        row: Dict[str, Any] = {
+            "strategy": start.data.get("strategy", "?"),
+            "seq": start.data.get("seq"),
+            "start": start.ts,
+            "end": start.ts,
+            "transition_cost": 0.0,
+            "completed_values": 0,
+            "completion_cost": 0.0,
+            "stall": None,
+            "promotes": 0,
+            "demotes": 0,
+            "migration_end": None,
+        }
+        last_output_before: Optional[float] = None
+        first_output_after: Optional[float] = None
+        for ev in events:
+            if ev.kind == EVENT_OUTPUT:
+                if ev.ts < start.ts:
+                    last_output_before = ev.ts
+                elif first_output_after is None and ev.ts < window_end:
+                    first_output_after = ev.ts
+                continue
+            if not start.ts <= ev.ts < window_end:
+                continue
+            if ev.kind == EVENT_TRANSITION_END and ev.data.get("seq") == row["seq"]:
+                row["end"] = ev.ts
+                row["transition_cost"] = ev.data.get("cost", ev.ts - start.ts)
+            elif ev.kind == EVENT_COMPLETION:
+                row["completed_values"] += 1
+                row["completion_cost"] += ev.data.get("cost", 0.0)
+            elif ev.kind == EVENT_PROMOTE:
+                row["promotes"] += ev.data.get("n", 0)
+            elif ev.kind == EVENT_DEMOTE:
+                row["demotes"] += ev.data.get("n", 0)
+            elif ev.kind == EVENT_MIGRATION_END and row["migration_end"] is None:
+                row["migration_end"] = ev.ts
+        if first_output_after is not None:
+            anchor = last_output_before if last_output_before is not None else start.ts
+            row["stall"] = first_output_after - anchor
+        rows.append(row)
+    return rows
+
+
+def _fmt_counts_table(phase_counts: Dict[str, Dict[str, int]]) -> List[str]:
+    phases = sorted(phase_counts)
+    ops = sorted({op for by in phase_counts.values() for op in by})
+    if not ops:
+        return ["  (no counters recorded)"]
+    width = max(len(op) for op in ops)
+    header = f"  {'op':<{width}}" + "".join(f" {p:>12}" for p in phases)
+    header += f" {'total':>12}"
+    lines = [header]
+    totals = {p: 0 for p in phases}
+    for op in ops:
+        row = f"  {op:<{width}}"
+        total = 0
+        for p in phases:
+            n = phase_counts[p].get(op, 0)
+            totals[p] += n
+            total += n
+            row += f" {n:>12d}"
+        row += f" {total:>12d}"
+        lines.append(row)
+    footer = f"  {'(all ops)':<{width}}"
+    footer += "".join(f" {totals[p]:>12d}" for p in phases)
+    footer += f" {sum(totals.values()):>12d}"
+    lines.append(footer)
+    return lines
+
+
+def _fmt_latency(latency: Dict[str, Any]) -> List[str]:
+    if not latency:
+        return ["  (no outputs recorded)"]
+    lines = [
+        f"  {'phase':<12} {'outputs':>8} {'p50':>10} {'p95':>10} {'p99':>10} {'max':>10}"
+    ]
+    for phase in sorted(latency):
+        hist = latency[phase]
+        if isinstance(hist, dict):
+            hist = LatencyHistogram.from_json(hist)
+        s = hist.summary()
+        lines.append(
+            f"  {phase:<12} {s['count']:>8d} {s['p50']:>10.1f} "
+            f"{s['p95']:>10.1f} {s['p99']:>10.1f} {s['max']:>10.1f}"
+        )
+    return lines
+
+
+def render_report(trace: Trace, title: str = "") -> str:
+    """Plain-text report over a trace (see module docstring)."""
+    events = trace.events
+    lines: List[str] = []
+    if title:
+        lines.append(f"== {title} ==")
+    span = (events[0].ts, events[-1].ts) if events else (0.0, 0.0)
+    dropped = trace.header.get("dropped", 0)
+    lines.append(
+        f"trace: {len(events)} events"
+        + (f" (+{dropped} dropped by the ring buffer)" if dropped else "")
+        + f", virtual time {span[0]:.1f} .. {span[1]:.1f}"
+    )
+
+    lines.append("")
+    lines.append("per-phase operation totals:")
+    lines.extend(_fmt_counts_table(trace.phase_counts))
+
+    lines.append("")
+    lines.append("output latency (arrival -> emit, virtual time):")
+    lines.extend(_fmt_latency(trace.header.get("latency", {})))
+
+    lines.append("")
+    rows = timeline(trace)
+    lines.append(f"migration timeline: {len(rows)} transition(s)")
+    for i, row in enumerate(rows, 1):
+        stall = f"{row['stall']:.1f}" if row["stall"] is not None else "n/a"
+        lines.append(
+            f"  #{i} {row['strategy']} @seq={row['seq']}: "
+            f"vt {row['start']:.1f} -> {row['end']:.1f} "
+            f"(transition cost {row['transition_cost']:.1f}), "
+            f"output stall {stall}"
+        )
+        detail = (
+            f"      lazily completed {row['completed_values']} value(s)"
+            f" costing {row['completion_cost']:.1f}"
+        )
+        if row["promotes"] or row["demotes"]:
+            detail += f"; promotes {row['promotes']}, demotes {row['demotes']}"
+        if row["migration_end"] is not None:
+            detail += (
+                f"; old plan discarded at vt {row['migration_end']:.1f}"
+                f" ({row['migration_end'] - row['start']:.1f} after the trigger)"
+            )
+        lines.append(detail)
+    checkpoints = trace.of_kind(EVENT_CHECKPOINT)
+    if checkpoints:
+        lines.append("")
+        lines.append(f"checkpoints: {len(checkpoints)}")
+        for ev in checkpoints:
+            lines.append(f"  at vt {ev.ts:.1f} ({ev.data.get('strategy', '?')})")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if not argv or argv[0] in ("-h", "--help"):
+        print("usage: python -m repro.obs.report TRACE.jsonl [TRACE2.jsonl ...]")
+        return 0 if argv else 2
+    for path in argv:
+        try:
+            trace = load_trace(path)
+        except OSError as exc:
+            print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+            return 1
+        except json.JSONDecodeError as exc:
+            print(f"error: {path} is not a JSONL trace: {exc}", file=sys.stderr)
+            return 1
+        print(render_report(trace, title=path))
+        print()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

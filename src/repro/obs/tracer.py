@@ -1,0 +1,338 @@
+"""Migration-aware tracing: spans, phase-attributed counters, JSONL traces.
+
+The repo's counters (:class:`~repro.engine.metrics.Metrics`) say *how much*
+work a strategy performed; they cannot say *when* or *why* — whether a
+``hash_probe`` belongs to normal operation, to Moving State's halting
+rebuild, or to JISC completing one pending value.  The tracer closes that
+gap:
+
+* Every :class:`~repro.engine.metrics.Metrics` carries a tracer.  The
+  default :data:`NULL_TRACER` is a shared no-op whose methods do nothing,
+  so untraced runs count exactly the same operations as before.
+
+* A :class:`RecordingTracer` keeps structured :class:`TraceEvent`\\ s —
+  transition start/end, per-value completions, promote/demote, checkpoint,
+  per-output virtual latency — in a bounded ring buffer, and splits every
+  counted operation into per-*phase* counter maps.  Phases are
+  context-scoped tags: ``"steady"`` (normal operation), ``"migrating"``
+  (inside a transition call, or while Parallel Track runs multiple
+  tracks), ``"completing"`` (inside JISC's just-in-time completion).  The
+  per-phase totals always sum exactly to ``Metrics.counts``.
+
+* Traces export to JSONL (one header object, then one object per event)
+  and load back with :func:`load_trace`; ``python -m repro.obs.report
+  trace.jsonl`` renders the migration timeline (see ``repro.obs.report``).
+"""
+
+from __future__ import annotations
+
+import json
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.obs.histogram import LatencyHistogram
+
+FORMAT_VERSION = 1
+
+PHASE_STEADY = "steady"
+PHASE_MIGRATING = "migrating"
+PHASE_COMPLETING = "completing"
+PHASES = (PHASE_STEADY, PHASE_MIGRATING, PHASE_COMPLETING)
+
+EVENT_TRANSITION_START = "transition_start"
+EVENT_TRANSITION_END = "transition_end"
+EVENT_MIGRATION_END = "migration_end"
+EVENT_COMPLETION = "completion"
+EVENT_PROMOTE = "promote"
+EVENT_DEMOTE = "demote"
+EVENT_CHECKPOINT = "checkpoint"
+EVENT_OUTPUT = "output"
+EVENT_NOTE = "note"
+
+
+class TraceEvent:
+    """One structured observation: virtual timestamp, kind, phase, payload."""
+
+    __slots__ = ("ts", "kind", "phase", "data")
+
+    def __init__(self, ts: float, kind: str, phase: str, data: Dict[str, Any]):
+        self.ts = ts
+        self.kind = kind
+        self.phase = phase
+        self.data = data
+
+    def to_json(self) -> Dict[str, Any]:
+        out = {"ts": self.ts, "kind": self.kind, "phase": self.phase}
+        out.update(self.data)
+        return out
+
+    @classmethod
+    def from_json(cls, obj: Dict[str, Any]) -> "TraceEvent":
+        data = {k: v for k, v in obj.items() if k not in ("ts", "kind", "phase")}
+        return cls(obj["ts"], obj["kind"], obj.get("phase", PHASE_STEADY), data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceEvent({self.kind}@{self.ts:.1f}, {self.phase}, {self.data})"
+
+
+class Trace:
+    """A loaded (or in-memory) trace: header metadata plus the event list."""
+
+    __slots__ = ("header", "events")
+
+    def __init__(self, header: Dict[str, Any], events: List[TraceEvent]):
+        self.header = header
+        self.events = events
+
+    @property
+    def phase_counts(self) -> Dict[str, Dict[str, int]]:
+        return self.header.get("phase_counts", {})
+
+    def of_kind(self, kind: str) -> List[TraceEvent]:
+        return [ev for ev in self.events if ev.kind == kind]
+
+
+class Tracer:
+    """No-op tracer: the zero-overhead default.
+
+    Subclass and set ``enabled = True`` to record.  Instrumentation sites
+    guard on ``tracer.enabled`` before doing any work beyond the counters
+    they already maintain, so the engine's operation counts are identical
+    with and without tracing.
+    """
+
+    enabled = False
+    phase = PHASE_STEADY
+
+    # -- wiring -----------------------------------------------------------------------
+
+    def attach(self, target) -> Any:
+        """Attach to a strategy (anything with ``.metrics``) or a Metrics.
+
+        Counters accumulated *before* attaching are credited to the current
+        phase, preserving the sum-to-``Metrics.counts`` invariant.
+        Returns ``target`` for chaining.
+        """
+        return target
+
+    # -- phase scoping ---------------------------------------------------------------
+
+    def set_phase(self, phase: str) -> str:
+        """Switch the attribution phase; returns the previous phase."""
+        return PHASE_STEADY
+
+    # -- counter hook ----------------------------------------------------------------
+
+    def on_count(self, op: str, n: int) -> None:
+        pass
+
+    # -- span / event hooks ------------------------------------------------------------
+
+    def arrival(self, tup) -> None:
+        pass
+
+    def output(self, tup, when: float) -> None:
+        pass
+
+    def transition_start(self, strategy: str, seq: int, **data) -> None:
+        pass
+
+    def transition_end(self, strategy: str, seq: int, **data) -> None:
+        pass
+
+    def migration_end(self, strategy: str, **data) -> None:
+        pass
+
+    def completion(self, op_label: str, key, **data) -> None:
+        pass
+
+    def promote(self, n: int, **data) -> None:
+        pass
+
+    def demote(self, n: int, **data) -> None:
+        pass
+
+    def checkpoint(self, strategy: str, **data) -> None:
+        pass
+
+    def note(self, what: str, **data) -> None:
+        pass
+
+
+#: Shared no-op tracer; the default of every Metrics instance.
+NULL_TRACER = Tracer()
+
+
+class RecordingTracer(Tracer):
+    """Tracer that records events, per-phase counters, and latencies.
+
+    Parameters
+    ----------
+    capacity:
+        Ring-buffer bound on retained events.  When full, the oldest
+        events are evicted and ``dropped`` counts them — aggregates
+        (per-phase counters, latency histograms) are unaffected by
+        eviction.
+    clock:
+        Virtual clock to timestamp events with; normally bound by
+        :meth:`attach` from the strategy's metrics.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = 100_000, clock=None):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self.events: deque = deque(maxlen=capacity)
+        self.dropped = 0
+        self.phase = PHASE_STEADY
+        self.phase_counts: Dict[str, Dict[str, int]] = {}
+        self.latency: Dict[str, LatencyHistogram] = {}
+        self._clock = clock
+        self._arrival_vt: Dict[tuple, float] = {}
+
+    # -- wiring -----------------------------------------------------------------------
+
+    def attach(self, target) -> Any:
+        metrics = getattr(target, "metrics", target)
+        if metrics.counts:
+            by = self.phase_counts.setdefault(self.phase, {})
+            for op, n in metrics.counts.items():
+                by[op] = by.get(op, 0) + n
+        self._clock = metrics.clock
+        metrics.tracer = self
+        return target
+
+    def _now(self) -> float:
+        return self._clock.now if self._clock is not None else 0.0
+
+    def _record(self, kind: str, data: Dict[str, Any]) -> None:
+        if len(self.events) == self.capacity:
+            self.dropped += 1
+        self.events.append(TraceEvent(self._now(), kind, self.phase, data))
+
+    # -- phase scoping ---------------------------------------------------------------
+
+    def set_phase(self, phase: str) -> str:
+        prev = self.phase
+        self.phase = phase
+        return prev
+
+    # -- counter hook ----------------------------------------------------------------
+
+    def on_count(self, op: str, n: int) -> None:
+        by = self.phase_counts.setdefault(self.phase, {})
+        by[op] = by.get(op, 0) + n
+
+    # -- span / event hooks ------------------------------------------------------------
+
+    def arrival(self, tup) -> None:
+        self._arrival_vt[(tup.stream, tup.seq)] = self._now()
+
+    def output(self, tup, when: float) -> None:
+        born = max(
+            (
+                self._arrival_vt[ref]
+                for ref in tup.lineage
+                if ref in self._arrival_vt
+            ),
+            default=when,
+        )
+        latency = max(0.0, when - born)
+        hist = self.latency.get(self.phase)
+        if hist is None:
+            hist = self.latency[self.phase] = LatencyHistogram()
+        hist.add(latency)
+        self._record(EVENT_OUTPUT, {"tuple_id": list(tup.lineage), "latency": latency})
+
+    def transition_start(self, strategy: str, seq: int, **data) -> None:
+        self._record(EVENT_TRANSITION_START, {"strategy": strategy, "seq": seq, **data})
+
+    def transition_end(self, strategy: str, seq: int, **data) -> None:
+        self._record(EVENT_TRANSITION_END, {"strategy": strategy, "seq": seq, **data})
+
+    def migration_end(self, strategy: str, **data) -> None:
+        self._record(EVENT_MIGRATION_END, {"strategy": strategy, **data})
+
+    def completion(self, op_label: str, key, **data) -> None:
+        self._record(EVENT_COMPLETION, {"op": op_label, "key": key, **data})
+
+    def promote(self, n: int, **data) -> None:
+        self._record(EVENT_PROMOTE, {"n": n, **data})
+
+    def demote(self, n: int, **data) -> None:
+        self._record(EVENT_DEMOTE, {"n": n, **data})
+
+    def checkpoint(self, strategy: str, **data) -> None:
+        self._record(EVENT_CHECKPOINT, {"strategy": strategy, **data})
+
+    def note(self, what: str, **data) -> None:
+        self._record(EVENT_NOTE, {"what": what, **data})
+
+    # -- aggregates --------------------------------------------------------------------
+
+    def counts_total(self) -> Dict[str, int]:
+        """Sum of the per-phase counters (equals ``Metrics.counts``)."""
+        total: Dict[str, int] = {}
+        for by in self.phase_counts.values():
+            for op, n in by.items():
+                total[op] = total.get(op, 0) + n
+        return total
+
+    def overall_latency(self) -> LatencyHistogram:
+        merged = LatencyHistogram()
+        for hist in self.latency.values():
+            merged.merge(hist)
+        return merged
+
+    def header(self) -> Dict[str, Any]:
+        return {
+            "kind": "header",
+            "version": FORMAT_VERSION,
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "capacity": self.capacity,
+            "phase_counts": {p: dict(c) for p, c in self.phase_counts.items()},
+            "latency": {p: h.to_json() for p, h in self.latency.items()},
+        }
+
+    def as_trace(self) -> Trace:
+        """In-memory :class:`Trace` view (no serialization round-trip)."""
+        return Trace(self.header(), list(self.events))
+
+    # -- JSONL -------------------------------------------------------------------------
+
+    def to_jsonl(self) -> str:
+        lines = [json.dumps(self.header(), sort_keys=True, default=str)]
+        lines.extend(
+            json.dumps(ev.to_json(), sort_keys=True, default=str)
+            for ev in self.events
+        )
+        return "\n".join(lines) + "\n"
+
+    def export_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+
+def parse_jsonl(lines: Iterable[str]) -> Trace:
+    """Build a :class:`Trace` from JSONL lines (header optional)."""
+    header: Dict[str, Any] = {}
+    events: List[TraceEvent] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        obj = json.loads(line)
+        if obj.get("kind") == "header":
+            header = obj
+        else:
+            events.append(TraceEvent.from_json(obj))
+    return Trace(header, events)
+
+
+def load_trace(path: str) -> Trace:
+    """Load a JSONL trace written by :meth:`RecordingTracer.export_jsonl`."""
+    with open(path) as fh:
+        return parse_jsonl(fh)

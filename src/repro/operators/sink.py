@@ -41,7 +41,11 @@ class OutputSink(Operator):
         self.metrics.count(Counter.OUTPUT)
         self.outputs.append(tup)
         clock = self.metrics.clock
-        self.output_times.append(clock.now if clock is not None else float(len(self.outputs)))
+        when = clock.now if clock is not None else float(len(self.outputs))
+        self.output_times.append(when)
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.output(tup, when)
 
     def remove(self, part: Part, child, fresh: bool = True) -> None:
         self.retractions.append(part)

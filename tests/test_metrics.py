@@ -25,6 +25,20 @@ def test_count_n_and_total():
     assert m.total() == 10
 
 
+def test_count_n_nonpositive_skips_clock_and_tracer():
+    from repro.obs.tracer import RecordingTracer
+
+    clock = VirtualClock()
+    m = Metrics(clock=clock)
+    tracer = RecordingTracer()
+    tracer.attach(m)
+    m.count_n(Counter.HASH_PROBE, 0)
+    m.count_n(Counter.HASH_PROBE, -7)
+    assert m.total() == 0
+    assert clock.now == 0.0
+    assert tracer.counts_total() == {}
+
+
 def test_snapshot_and_diff():
     m = Metrics()
     m.count(Counter.HASH_PROBE)
@@ -37,6 +51,22 @@ def test_snapshot_and_diff():
     assert snap == {Counter.HASH_PROBE: 1}
 
 
+def test_diff_drops_zero_deltas():
+    m = Metrics()
+    m.count_n(Counter.HASH_PROBE, 4)
+    m.count(Counter.OUTPUT)
+    snap = m.snapshot()
+    m.count(Counter.OUTPUT)
+    assert m.diff(snap) == {Counter.OUTPUT: 1}
+    assert m.diff(m.snapshot()) == {}
+
+
+def test_diff_against_empty_snapshot_is_identity():
+    m = Metrics()
+    m.count_n(Counter.NL_COMPARE, 3)
+    assert m.diff({}) == {Counter.NL_COMPARE: 3}
+
+
 def test_reset_clears_counts_and_clock():
     clock = VirtualClock()
     m = Metrics(clock=clock)
@@ -45,6 +75,15 @@ def test_reset_clears_counts_and_clock():
     m.reset()
     assert m.total() == 0
     assert clock.now == 0.0
+
+
+def test_reset_without_clock_and_counting_resumes():
+    m = Metrics()
+    m.count_n(Counter.TUPLE_EMIT, 5)
+    m.reset()
+    assert m.snapshot() == {}
+    m.count(Counter.TUPLE_EMIT)
+    assert m.get(Counter.TUPLE_EMIT) == 1
 
 
 def test_clock_advances_by_cost():
@@ -75,6 +114,25 @@ def test_cost_model_time_for():
 
 def test_work_units_without_model_counts_everything_once():
     assert work_units({"a": 3, "b": 2}) == 5.0
+
+
+def test_work_units_with_real_cost_model_matches_clock():
+    """work_units over a snapshot reproduces the clock's virtual time."""
+    cm = CostModel(DEFAULT_COSTS)
+    clock = VirtualClock(cm)
+    m = Metrics(clock=clock)
+    m.count_n(Counter.HASH_PROBE, 7)
+    m.count_n(Counter.TUPLE_EMIT, 4)
+    m.count(Counter.OUTPUT)
+    assert work_units(m.snapshot(), cm) == pytest.approx(clock.now)
+    assert work_units(m.snapshot(), cm) == pytest.approx(cm.time_for(m.counts))
+
+
+def test_work_units_weights_ops_differently():
+    cm = CostModel({Counter.HASH_PROBE: 2.0, Counter.NL_COMPARE: 0.5})
+    counts = {Counter.HASH_PROBE: 3, Counter.NL_COMPARE: 4}
+    assert work_units(counts, cm) == pytest.approx(3 * 2.0 + 4 * 0.5)
+    assert work_units({}, cm) == 0.0
 
 
 def test_all_counters_have_default_costs():

@@ -105,6 +105,30 @@ def test_history_is_bounded(schema):
     assert len(mon.history) == 5
 
 
+def test_truncation_is_reported_not_silent(schema):
+    st = JISCStrategy(schema, ORDER)
+    mon = QueryMonitor(st, max_history=5)
+    for _ in range(4):
+        mon.sample()
+    assert mon.dropped == 0 and not mon.window_truncated()
+    for _ in range(8):
+        mon.sample()
+    assert mon.dropped == 7
+    assert mon.window_truncated()
+    summary = mon.summary()
+    assert summary["dropped"] == 7 and summary["window_truncated"] is True
+
+
+def test_bounded_history_keeps_newest_snapshots(schema):
+    st = JISCStrategy(schema, ORDER)
+    mon = QueryMonitor(st, max_history=3)
+    for tup in make_tuples([("R", k) for k in range(6)]):
+        st.process(tup)
+        mon.note_tuple()
+        mon.sample()
+    assert [s.at_tuple for s in mon.history] == [4, 5, 6]
+
+
 def test_rejects_bad_history_bound(schema):
     with pytest.raises(ValueError):
         QueryMonitor(JISCStrategy(schema, ORDER), max_history=0)
@@ -116,6 +140,8 @@ def test_summary_keys(schema):
     summary = mon.summary()
     assert set(summary) == {
         "samples",
+        "dropped",
+        "window_truncated",
         "peak_entries",
         "largest_state",
         "throughput",

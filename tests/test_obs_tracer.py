@@ -1,0 +1,299 @@
+"""Tests for the migration-aware tracing layer (repro.obs)."""
+
+import json
+
+import pytest
+
+from tests.helpers import make_tuples
+from repro.engine.checkpoint import checkpoint_strategy
+from repro.engine.executor import run_events
+from repro.engine.metrics import Counter, Metrics
+from repro.eddy.cacq import CACQExecutor
+from repro.eddy.stairs import JISCStairsExecutor, STAIRSExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.migration.mjoin import MJoinExecutor
+from repro.migration.moving_state import MovingStateStrategy
+from repro.migration.parallel_track import ParallelTrackStrategy
+from repro.obs.histogram import LatencyHistogram
+from repro.obs.tracer import (
+    NULL_TRACER,
+    PHASE_COMPLETING,
+    PHASE_MIGRATING,
+    PHASE_STEADY,
+    RecordingTracer,
+    Tracer,
+    load_trace,
+    parse_jsonl,
+)
+from repro.streams.schema import Schema
+from repro.workloads.scenarios import chain_scenario, swap_for_case
+
+ORDER = ("R", "S", "T")
+
+
+@pytest.fixture
+def schema():
+    return Schema.uniform(["R", "S", "T"], window=10)
+
+
+def migration_workload():
+    """A small workload with one worst-case transition in the middle."""
+    sc = chain_scenario(3, 600, 25, key_domain=30, seed=4)
+    return sc, swap_for_case(sc.order, "worst"), 300
+
+
+def run_traced(cls, **kwargs):
+    sc, swapped, cut = migration_workload()
+    strategy = cls(sc.schema, sc.order, **kwargs)
+    tracer = RecordingTracer()
+    tracer.attach(strategy)
+    for tup in sc.tuples[:cut]:
+        strategy.process(tup)
+    strategy.transition(swapped)
+    for tup in sc.tuples[cut:]:
+        strategy.process(tup)
+    return strategy, tracer
+
+
+# -- zero-perturbation contract -----------------------------------------------------
+
+
+def test_noop_tracer_is_the_default():
+    assert Metrics().tracer is NULL_TRACER
+    assert not NULL_TRACER.enabled
+    assert NULL_TRACER.set_phase(PHASE_MIGRATING) == PHASE_STEADY
+
+
+def test_recording_tracer_does_not_perturb_op_counts():
+    sc, swapped, cut = migration_workload()
+
+    def run(with_tracer):
+        st = JISCStrategy(sc.schema, sc.order)
+        if with_tracer:
+            RecordingTracer().attach(st)
+        for tup in sc.tuples[:cut]:
+            st.process(tup)
+        st.transition(swapped)
+        for tup in sc.tuples[cut:]:
+            st.process(tup)
+        return st.metrics.counts, st.output_lineages()
+
+    plain_counts, plain_out = run(False)
+    traced_counts, traced_out = run(True)
+    assert plain_counts == traced_counts
+    assert plain_out == traced_out
+
+
+# -- per-phase counter attribution --------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "cls",
+    [
+        JISCStrategy,
+        MovingStateStrategy,
+        ParallelTrackStrategy,
+        STAIRSExecutor,
+        JISCStairsExecutor,
+        CACQExecutor,
+        MJoinExecutor,
+    ],
+)
+def test_phase_counts_sum_to_metrics_counts(cls):
+    strategy, tracer = run_traced(cls)
+    assert tracer.counts_total() == strategy.metrics.counts
+
+
+def test_jisc_attributes_completion_work_to_completing_phase():
+    strategy, tracer = run_traced(JISCStrategy)
+    completing = tracer.phase_counts.get(PHASE_COMPLETING, {})
+    assert completing.get(Counter.COMPLETION_PROBE, 0) > 0
+    # JISC's transition itself is a pointer move: no migration-phase work.
+    assert sum(tracer.phase_counts.get(PHASE_MIGRATING, {}).values()) == 0
+
+
+def test_moving_state_attributes_rebuild_to_migrating_phase():
+    strategy, tracer = run_traced(MovingStateStrategy)
+    migrating = tracer.phase_counts.get(PHASE_MIGRATING, {})
+    assert migrating.get(Counter.HASH_PROBE, 0) > 0
+    assert PHASE_COMPLETING not in tracer.phase_counts
+
+
+def test_parallel_track_attributes_multi_track_period_to_migrating():
+    strategy, tracer = run_traced(ParallelTrackStrategy, purge_check_interval=4)
+    migrating = tracer.phase_counts.get(PHASE_MIGRATING, {})
+    assert migrating.get(Counter.DEDUP_CHECK, 0) > 0
+    assert migrating.get(Counter.PURGE_CHECK, 0) > 0
+    ends = [ev for ev in tracer.events if ev.kind == "migration_end"]
+    assert len(ends) == 1
+
+
+def test_attach_seeds_preexisting_counts():
+    m = Metrics()
+    m.count(Counter.HASH_PROBE)
+    m.count_n(Counter.TUPLE_EMIT, 3)
+    tracer = RecordingTracer()
+    tracer.attach(m)
+    m.count(Counter.HASH_PROBE)
+    assert tracer.counts_total() == m.counts
+
+
+# -- spans and events ----------------------------------------------------------------
+
+
+def test_transition_span_and_completion_events():
+    strategy, tracer = run_traced(JISCStrategy)
+    kinds = [ev.kind for ev in tracer.events]
+    assert "transition_start" in kinds and "transition_end" in kinds
+    completions = [ev for ev in tracer.events if ev.kind == "completion"]
+    assert completions, "a worst-case transition must trigger lazy completion"
+    for ev in completions:
+        assert ev.phase == PHASE_COMPLETING
+        assert "op" in ev.data and "key" in ev.data and ev.data["cost"] >= 0
+    notes = [ev for ev in tracer.events if ev.kind == "note"]
+    assert any(n.data.get("what") == "jisc_adoption" for n in notes)
+
+
+def test_stairs_emits_promote_demote_events():
+    strategy, tracer = run_traced(STAIRSExecutor)
+    promotes = [ev for ev in tracer.events if ev.kind == "promote"]
+    demotes = [ev for ev in tracer.events if ev.kind == "demote"]
+    assert sum(ev.data["n"] for ev in promotes) == strategy.metrics.get(
+        Counter.PROMOTE
+    )
+    assert sum(ev.data["n"] for ev in demotes) == strategy.metrics.get(Counter.DEMOTE)
+
+
+def test_output_events_carry_virtual_latency():
+    strategy, tracer = run_traced(JISCStrategy)
+    outputs = [ev for ev in tracer.events if ev.kind == "output"]
+    assert len(outputs) == len(strategy.outputs)
+    for ev in outputs:
+        assert ev.data["latency"] >= 0
+        assert ev.data["tuple_id"]
+    total = sum(h.count for h in tracer.latency.values())
+    assert total == len(strategy.outputs)
+
+
+def test_checkpoint_event(schema):
+    st = JISCStrategy(schema, ORDER)
+    tracer = RecordingTracer()
+    tracer.attach(st)
+    for tup in make_tuples([(s, 1) for s in ORDER]):
+        st.process(tup)
+    checkpoint_strategy(st)
+    events = [ev for ev in tracer.events if ev.kind == "checkpoint"]
+    assert len(events) == 1
+    assert events[0].data["outputs"] == len(st.outputs)
+
+
+def test_run_events_attaches_tracer(schema):
+    tracer = RecordingTracer()
+    st = JISCStrategy(schema, ORDER)
+    run_events(st, make_tuples([(s, 1) for s in ORDER]), tracer=tracer)
+    assert st.metrics.tracer is tracer
+    assert tracer.counts_total() == st.metrics.counts
+
+
+# -- ring buffer ---------------------------------------------------------------------
+
+
+def test_ring_buffer_bounds_events_and_counts_drops():
+    sc, swapped, cut = migration_workload()
+    st = JISCStrategy(sc.schema, sc.order)
+    tracer = RecordingTracer(capacity=10)
+    tracer.attach(st)
+    for tup in sc.tuples[:cut]:
+        st.process(tup)
+    st.transition(swapped)
+    for tup in sc.tuples[cut:]:
+        st.process(tup)
+    assert len(tracer.events) == 10
+    assert tracer.dropped > 0
+    # Aggregates are exempt from eviction: the invariant still holds.
+    assert tracer.counts_total() == st.metrics.counts
+
+
+def test_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        RecordingTracer(capacity=0)
+
+
+# -- JSONL round-trip ----------------------------------------------------------------
+
+
+def test_jsonl_roundtrip(tmp_path):
+    strategy, tracer = run_traced(JISCStrategy)
+    path = tmp_path / "trace.jsonl"
+    tracer.export_jsonl(str(path))
+    trace = load_trace(str(path))
+    assert trace.header["version"] == 1
+    assert trace.header["dropped"] == 0
+    assert len(trace.events) == len(tracer.events)
+    assert trace.phase_counts == {
+        p: dict(c) for p, c in tracer.phase_counts.items()
+    }
+    # every line is valid standalone JSON
+    lines = path.read_text().strip().splitlines()
+    assert all(json.loads(line) for line in lines)
+    # latency histograms survive the round-trip
+    hist = LatencyHistogram.from_json(trace.header["latency"][PHASE_STEADY])
+    assert hist.count == tracer.latency[PHASE_STEADY].count
+    assert hist.percentile(50) == tracer.latency[PHASE_STEADY].percentile(50)
+
+
+def test_parse_jsonl_tolerates_missing_header():
+    trace = parse_jsonl(
+        [
+            '{"ts": 1.0, "kind": "output", "phase": "steady", "latency": 2.5}',
+            "",
+            '{"ts": 2.0, "kind": "transition_start", "phase": "migrating", "seq": 7}',
+        ]
+    )
+    assert trace.header == {}
+    assert [ev.kind for ev in trace.events] == ["output", "transition_start"]
+    assert trace.events[1].data["seq"] == 7
+
+
+# -- latency histogram ---------------------------------------------------------------
+
+
+def test_histogram_percentiles_are_bucket_accurate():
+    hist = LatencyHistogram()
+    values = [float(v) for v in range(1, 1001)]
+    for v in values:
+        hist.add(v)
+    assert hist.count == 1000
+    assert hist.min == 1.0 and hist.max == 1000.0
+    # geometric buckets with growth 1.25: within 25% of the exact rank
+    assert hist.percentile(50) == pytest.approx(500, rel=0.25)
+    assert hist.percentile(95) == pytest.approx(950, rel=0.25)
+    assert hist.percentile(99) == pytest.approx(990, rel=0.25)
+    assert hist.percentile(100) == 1000.0
+
+
+def test_histogram_empty_and_bad_args():
+    hist = LatencyHistogram()
+    assert hist.percentile(99) == 0.0
+    assert hist.mean() == 0.0
+    with pytest.raises(ValueError):
+        hist.add(-1.0)
+    with pytest.raises(ValueError):
+        hist.percentile(101)
+    with pytest.raises(ValueError):
+        LatencyHistogram(least=0)
+
+
+def test_histogram_merge_and_json():
+    a, b = LatencyHistogram(), LatencyHistogram()
+    for v in (1.0, 2.0, 3.0):
+        a.add(v)
+    for v in (10.0, 20.0):
+        b.add(v)
+    a.merge(b)
+    assert a.count == 5
+    assert a.min == 1.0 and a.max == 20.0
+    restored = LatencyHistogram.from_json(a.to_json())
+    assert restored.summary() == a.summary()
+    with pytest.raises(ValueError):
+        a.merge(LatencyHistogram(least=2.0))
