@@ -31,6 +31,8 @@ Section 5 analysis::
 See ``examples/quickstart.py`` for a complete end-to-end program.
 """
 
+from typing import Any
+
 from repro.streams import (
     StreamTuple,
     CompositeTuple,
@@ -112,7 +114,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     # Lazy, mirroring repro.obs: keeps ``python -m repro.obs.report`` free
     # of the runpy already-imported RuntimeWarning.
     if name == "render_report":

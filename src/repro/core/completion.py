@@ -30,12 +30,17 @@ invariant.  See DESIGN.md ("deviations").
 
 from __future__ import annotations
 
-from typing import List
+from typing import TYPE_CHECKING, Any, List
 
 from repro.operators.base import BinaryOperator, Operator
 
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.controller import JISCController
 
-def complete_value_recursive(controller, op: Operator, key) -> None:
+
+def complete_value_recursive(
+    controller: "JISCController", op: Operator, key: Any
+) -> None:
     """Procedure 2: ensure ``op``'s state is complete for ``key`` (bushy)."""
     if not isinstance(op, BinaryOperator):
         return  # scans and unary operators are always complete
@@ -47,7 +52,9 @@ def complete_value_recursive(controller, op: Operator, key) -> None:
     controller.settle(op, key)
 
 
-def complete_value_left_deep(controller, op: Operator, key) -> None:
+def complete_value_left_deep(
+    controller: "JISCController", op: Operator, key: Any
+) -> None:
     """Procedure 3: iterative completion along the left spine.
 
     ``op`` is the (incomplete) operator whose state needs the entries for

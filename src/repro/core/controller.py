@@ -19,7 +19,7 @@ plan:
 
 from __future__ import annotations
 
-from typing import Any, Dict, Optional, Set
+from typing import Any, Dict, Optional, Set, Tuple
 
 from repro.core.completion import complete_value_left_deep, complete_value_recursive
 from repro.core.freshness import FreshnessRegistry
@@ -27,10 +27,10 @@ from repro.engine.metrics import Metrics
 from repro.obs.tracer import PHASE_COMPLETING
 from repro.operators.base import BinaryOperator, Operator
 from repro.plans.build import PhysicalPlan
-from repro.streams.tuples import CompositeTuple, StreamTuple
+from repro.streams.tuples import AnyTuple, CompositeTuple, StreamTuple
 
 
-def _entry_max_seq(entry) -> int:
+def _entry_max_seq(entry: AnyTuple) -> int:
     """Birth time of a state entry: the arrival seq of its newest part."""
     if isinstance(entry, CompositeTuple):
         return entry.max_seq()
@@ -64,7 +64,7 @@ class JISCController:
         self.incomplete_ops: Set[BinaryOperator] = set()
         self.plan: Optional[PhysicalPlan] = None
         self.current_fresh = True
-        self.current_part: Optional[tuple] = None
+        self.current_part: Optional[Tuple[str, int]] = None
         # Procedure 3 (left-deep walk) is used automatically for left-deep
         # plans unless forced off (useful for the Procedure-2/3 equivalence
         # tests).
@@ -123,7 +123,9 @@ class JISCController:
         """Record the arrival once its processing cascade completed."""
         self.freshness.record(tup)
 
-    def _completion_hook(self, tup, join_node, opposite: Operator) -> None:
+    def _completion_hook(
+        self, tup: AnyTuple, join_node: Operator, opposite: Operator
+    ) -> None:
         """Procedure 1, lines 5-6: complete on a fresh probe of a pending value.
 
         Called with ``opposite is join_node`` for own-path completion (the
@@ -164,7 +166,7 @@ class JISCController:
 
     # -- completion bookkeeping --------------------------------------------------
 
-    def needs_completion(self, op: Operator, key) -> bool:
+    def needs_completion(self, op: Operator, key: Any) -> bool:
         """Does ``op``'s state possibly miss entries for ``key``?"""
         status = op.state.status
         if status.complete:
@@ -181,7 +183,7 @@ class JISCController:
             return False
         return True
 
-    def settle(self, op: BinaryOperator, key) -> None:
+    def settle(self, op: BinaryOperator, key: Any) -> None:
         """Record that ``op``'s entries for ``key`` are now complete."""
         info = self.info.get(op)
         if info is None:

@@ -33,7 +33,7 @@ from typing import Optional, Set
 from repro.core.controller import JISCController, JISCStateInfo
 from repro.engine.metrics import Metrics
 from repro.operators.state import HashState
-from repro.plans.build import OpFactory, PhysicalPlan, build_plan
+from repro.plans.build import Identity, OpFactory, PhysicalPlan, build_plan
 from repro.plans.spec import PlanSpec, validate_spec
 from repro.streams.schema import Schema
 
@@ -56,9 +56,9 @@ def perform_jisc_transition(
             f"-> {sorted(new_names)}"
         )
 
-    adopted: Set = set()
+    adopted: Set[Identity] = set()
 
-    def provider(identity) -> Optional[HashState]:
+    def provider(identity: Identity) -> Optional[HashState]:
         old_op = old_plan.by_identity.get(identity)
         if old_op is None:
             return None

@@ -20,7 +20,7 @@ from repro.engine.cost import CostModel, VirtualClock
 from repro.engine.metrics import Counter, Metrics
 from repro.eddy.routing import FixedOrderRouting, RoutingPolicy
 from repro.eddy.stem import SteM
-from repro.migration.base import as_spec
+from repro.migration.base import SpecLike, as_spec
 from repro.plans.spec import leaves
 from repro.streams.schema import Schema
 from repro.streams.tuples import CompositeTuple, StreamTuple
@@ -34,7 +34,7 @@ class CACQExecutor:
     def __init__(
         self,
         schema: Schema,
-        initial_spec,
+        initial_spec: "SpecLike",
         metrics: Optional[Metrics] = None,
         cost_model: Optional[CostModel] = None,
         routing_policy: Optional[RoutingPolicy] = None,
@@ -91,7 +91,7 @@ class CACQExecutor:
             if tracer.enabled:
                 tracer.output(result, when)
 
-    def transition(self, new_spec) -> None:
+    def transition(self, new_spec: "SpecLike") -> None:
         """Adopt a new routing order; CACQ migrates no state."""
         new_routing = tuple(leaves(as_spec(new_spec)))
         if set(new_routing) != set(self.routing):

@@ -20,7 +20,7 @@ from typing import Optional
 
 from repro.engine.cost import CostModel, VirtualClock
 from repro.engine.metrics import Counter, Metrics
-from repro.migration.base import as_spec
+from repro.migration.base import SpecLike, as_spec
 from repro.migration.jisc import JISCStrategy
 from repro.migration.moving_state import MovingStateStrategy
 from repro.plans.spec import internal_nodes, membership
@@ -58,7 +58,7 @@ class STAIRSExecutor(MovingStateStrategy):
     def __init__(
         self,
         schema: Schema,
-        initial_spec,
+        initial_spec: SpecLike,
         metrics: Optional[Metrics] = None,
         join: str = "hash",
         cost_model: Optional[CostModel] = None,
@@ -67,7 +67,7 @@ class STAIRSExecutor(MovingStateStrategy):
             schema, initial_spec, metrics or _eddy_metrics(cost_model), join, cost_model
         )
 
-    def _do_transition(self, new_spec) -> None:
+    def _do_transition(self, new_spec: SpecLike) -> None:
         old_plan = self.plan
         tracer = self.metrics.tracer
         new_members = {membership(node) for node in internal_nodes(as_spec(new_spec))}
@@ -98,7 +98,7 @@ class JISCStairsExecutor(JISCStrategy):
     def __init__(
         self,
         schema: Schema,
-        initial_spec,
+        initial_spec: SpecLike,
         metrics: Optional[Metrics] = None,
         join: str = "hash",
         cost_model: Optional[CostModel] = None,

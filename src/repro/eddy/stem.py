@@ -7,7 +7,7 @@ intermediate results; a join tree over n+1 streams becomes n+1 SteMs.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Any, List
 
 from repro.engine.metrics import Counter, Metrics
 from repro.operators.state import HashState
@@ -48,7 +48,7 @@ class SteM:
         self.metrics.count(Counter.HASH_INSERT)
         return evicted
 
-    def probe(self, key) -> List[StreamTuple]:
+    def probe(self, key: Any) -> List[StreamTuple]:
         """All window tuples with join value ``key``."""
         self.metrics.count(Counter.HASH_PROBE)
         return self.state.get(key)

@@ -23,6 +23,7 @@ from repro.core.controller import JISCStateInfo
 from repro.migration.base import MigrationStrategy, StaticPlanExecutor
 from repro.migration.jisc import JISCStrategy
 from repro.migration.moving_state import MovingStateStrategy
+from repro.plans.spec import PlanSpec
 from repro.streams.schema import Schema, StreamDescriptor
 from repro.streams.tuples import CompositeTuple, StreamTuple
 
@@ -35,13 +36,13 @@ _STRATEGY_KINDS = {
 }
 
 
-def _spec_to_json(spec) -> Any:
+def _spec_to_json(spec: PlanSpec) -> Any:
     if isinstance(spec, str):
         return spec
     return [_spec_to_json(spec[0]), _spec_to_json(spec[1])]
 
 
-def _spec_from_json(data) -> Any:
+def _spec_from_json(data: Any) -> PlanSpec:
     if isinstance(data, str):
         return data
     return (_spec_from_json(data[0]), _spec_from_json(data[1]))
@@ -145,7 +146,9 @@ def restore_strategy(data: Dict[str, Any]) -> MigrationStrategy:
             tup = StreamTuple(name, row["seq"], row["key"], row.get("payload"))
             base_tuples[(name, row["seq"])] = tup
             scan.window.push_all(tup)
-            scan.state.add(tup)
+            # Checkpoint restore rebuilds states verbatim from the snapshot;
+            # the completion hooks already ran before the checkpoint was cut.
+            scan.state.add(tup)  # jisclint: disable=JISC004
 
     # Rebuild the intermediate states and their completeness status.
     by_membership = {frozenset(s["membership"]): s for s in data["states"]}
@@ -154,12 +157,12 @@ def restore_strategy(data: Dict[str, Any]) -> MigrationStrategy:
         for lineage in saved["entries"]:
             parts = tuple(base_tuples[(stream, seq)] for stream, seq in lineage)
             entry = CompositeTuple(parts[0].key, tuple(sorted(parts, key=lambda p: p.stream)))
-            op.state.add(entry)
+            op.state.add(entry)  # jisclint: disable=JISC004
         status = op.state.status
         if saved["complete"]:
-            status.mark_complete()
+            status.mark_complete()  # jisclint: disable=JISC004
         else:
-            status.mark_incomplete(saved["pending"])
+            status.mark_incomplete(saved["pending"])  # jisclint: disable=JISC004
 
     # JISC bookkeeping.
     if isinstance(strategy, JISCStrategy) and "controller" in data:

@@ -11,7 +11,9 @@ strategies live in :mod:`repro.migration` and :mod:`repro.eddy`.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, List, Protocol, Sequence, Union
+from typing import Any, Iterable, List, Optional, Protocol, Sequence, Union
+
+from repro.obs.tracer import Tracer
 
 from repro.plans.spec import PlanSpec
 from repro.streams.tuples import StreamTuple
@@ -52,7 +54,9 @@ class StrategyExecutor(Protocol):
 
 
 def run_events(
-    strategy: StrategyExecutor, events: Iterable[Event], tracer=None
+    strategy: StrategyExecutor,
+    events: Iterable[Event],
+    tracer: Optional[Tracer] = None,
 ) -> StrategyExecutor:
     """Drive ``strategy`` through ``events``; returns the strategy.
 

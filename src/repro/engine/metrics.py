@@ -9,9 +9,12 @@ used by all benchmarks (see DESIGN.md, substitution table).
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import TYPE_CHECKING, Dict, Optional
 
-from repro.obs.tracer import NULL_TRACER
+from repro.obs.tracer import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.cost import CostModel, VirtualClock
 
 
 class Counter:
@@ -64,7 +67,11 @@ class Metrics:
 
     __slots__ = ("counts", "clock", "tracer")
 
-    def __init__(self, clock=None, tracer=None):
+    def __init__(
+        self,
+        clock: Optional["VirtualClock"] = None,
+        tracer: Optional[Tracer] = None,
+    ):
         self.counts: Dict[str, int] = {}
         self.clock = clock
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -100,7 +107,7 @@ class Metrics:
 
     def diff(self, earlier: Dict[str, int]) -> Dict[str, int]:
         """Counters accumulated since ``earlier`` (a prior ``snapshot()``)."""
-        out = {}
+        out: Dict[str, int] = {}
         for op, v in self.counts.items():
             delta = v - earlier.get(op, 0)
             if delta:
@@ -117,7 +124,7 @@ class Metrics:
         return f"Metrics({body})"
 
 
-def work_units(counts: Dict[str, int], cost_model=None) -> float:
+def work_units(counts: Dict[str, int], cost_model: Optional["CostModel"] = None) -> float:
     """Convert a counter snapshot into virtual time units.
 
     With no cost model, every operation costs 1.

@@ -15,7 +15,10 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Any, Deque, Dict, Optional
+from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.plans.build import PhysicalPlan
 
 
 @dataclass(frozen=True)
@@ -38,7 +41,7 @@ class Snapshot:
 class QueryMonitor:
     """Samples a strategy's state into a bounded history."""
 
-    def __init__(self, strategy, max_history: int = 10_000):
+    def __init__(self, strategy: Any, max_history: int = 10_000):
         if max_history <= 0:
             raise ValueError("max_history must be positive")
         self.strategy = strategy
@@ -88,7 +91,7 @@ class QueryMonitor:
         self.history.append(snap)
         return snap
 
-    def _plans(self):
+    def _plans(self) -> List["PhysicalPlan"]:
         if hasattr(self.strategy, "tracks"):
             return [t.plan for t in self.strategy.tracks]
         return [self.strategy.plan]

@@ -23,9 +23,11 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cost import CostModel
+from repro.engine.metrics import Metrics
 from repro.migration.jisc import JISCStrategy
 from repro.migration.moving_state import MovingStateStrategy
 from repro.migration.parallel_track import ParallelTrackStrategy
+from repro.operators.base import Operator
 from repro.operators.joins import JoinOperator
 from repro.operators.scan import StreamScan
 from repro.plans.optimizer import SelectivityOptimizer
@@ -127,7 +129,7 @@ class ContinuousQuery:
         return self.strategy.outputs
 
     @property
-    def metrics(self):
+    def metrics(self) -> Metrics:
         return self.strategy.metrics
 
     def selectivity_of(self, stream: str) -> Optional[float]:
@@ -167,7 +169,7 @@ class ContinuousQuery:
                 if isinstance(op, JoinOperator):
                     op.probe_observer = self._observe_probe
 
-    def _observe_probe(self, probed, matched: bool) -> None:
+    def _observe_probe(self, probed: Operator, matched: bool) -> None:
         # Only scan probes carry a clean per-stream signal.
         if isinstance(probed, StreamScan):
             stats = self._probe_stats[probed.stream]

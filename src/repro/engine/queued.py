@@ -29,12 +29,14 @@ expired state; fuzzing found exactly that).
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional, Tuple
+from typing import Any, Deque, Optional, Tuple
 
 from repro.engine.metrics import Counter, Metrics
-from repro.migration.base import StaticPlanExecutor
+from repro.migration.base import SpecLike, StaticPlanExecutor
 from repro.migration.jisc import JISCStrategy
-from repro.streams.tuples import StreamTuple
+from repro.operators.base import Operator
+from repro.streams.schema import Schema
+from repro.streams.tuples import AnyTuple, StreamTuple
 
 
 class QueueScheduler:
@@ -47,13 +49,17 @@ class QueueScheduler:
 
     def __init__(self, metrics: Metrics):
         self.metrics = metrics
-        self._queue: Deque[Tuple] = deque()
+        self._queue: Deque[Tuple[Any, ...]] = deque()
 
-    def enqueue_process(self, target, tup, child) -> None:
+    def enqueue_process(
+        self, target: Operator, tup: AnyTuple, child: Optional[Operator]
+    ) -> None:
         self.metrics.count(Counter.QUEUE_OP)
         self._queue.append(("process", target, tup, child))
 
-    def enqueue_removal(self, target, part, child, fresh: bool) -> None:
+    def enqueue_removal(
+        self, target: Operator, part: Tuple[str, int], child: Operator, fresh: bool
+    ) -> None:
         # Unused by the operators (removals are synchronous, see the module
         # docstring); kept so custom sources can still schedule retractions.
         self.metrics.count(Counter.QUEUE_OP)
@@ -103,7 +109,7 @@ class _BufferedMixin:
         """Explicit buffer-clearing phase (Section 4.1)."""
         return self.scheduler.drain()
 
-    def transition(self, new_spec, unsafe_skip_drain: bool = False) -> None:  # type: ignore[override]
+    def transition(self, new_spec: SpecLike, unsafe_skip_drain: bool = False) -> None:  # type: ignore[override]
         if unsafe_skip_drain:
             # Deliberately violate Section 4.1: queued tuples lose the
             # states of the plan they were meant for.  Only for tests.
@@ -119,7 +125,14 @@ class BufferedStaticExecutor(_BufferedMixin, StaticPlanExecutor):
 
     name = "static_buffered"
 
-    def __init__(self, schema, initial_spec, metrics: Optional[Metrics] = None, join: str = "hash", auto_drain: bool = True):
+    def __init__(
+        self,
+        schema: Schema,
+        initial_spec: SpecLike,
+        metrics: Optional[Metrics] = None,
+        join: str = "hash",
+        auto_drain: bool = True,
+    ):
         super().__init__(schema, initial_spec, metrics, join)
         self.scheduler = QueueScheduler(self.metrics)
         self.auto_drain = auto_drain
@@ -131,7 +144,14 @@ class BufferedJISCStrategy(_BufferedMixin, JISCStrategy):
 
     name = "jisc_buffered"
 
-    def __init__(self, schema, initial_spec, metrics: Optional[Metrics] = None, join: str = "hash", auto_drain: bool = True):
+    def __init__(
+        self,
+        schema: Schema,
+        initial_spec: SpecLike,
+        metrics: Optional[Metrics] = None,
+        join: str = "hash",
+        auto_drain: bool = True,
+    ):
         super().__init__(schema, initial_spec, metrics, join)
         self.scheduler = QueueScheduler(self.metrics)
         self.auto_drain = auto_drain

@@ -21,7 +21,7 @@ time is *virtual time* from the deterministic cost model (see
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.eddy.cacq import CACQExecutor
 from repro.migration.base import StaticPlanExecutor
@@ -66,20 +66,22 @@ class StageResult:
     latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
 
 
-def _observe(strategy) -> RecordingTracer:
+def _observe(strategy: Any) -> RecordingTracer:
     """Attach a fresh recording tracer to ``strategy`` and return it."""
     tracer = RecordingTracer()
     tracer.attach(strategy)
     return tracer
 
 
-def _tracer_summaries(tracer: RecordingTracer):
+def _tracer_summaries(
+    tracer: RecordingTracer,
+) -> Tuple[Dict[str, Dict[str, int]], Dict[str, Dict[str, float]]]:
     phases = {p: dict(c) for p, c in tracer.phase_counts.items()}
     latency = {p: h.summary() for p, h in tracer.latency.items()}
     return phases, latency
 
 
-def _run_tuples(strategy, tuples: Sequence) -> None:
+def _run_tuples(strategy: Any, tuples: Sequence[StreamTuple]) -> None:
     process = strategy.process
     for tup in tuples:
         process(tup)

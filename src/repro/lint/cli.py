@@ -1,0 +1,85 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes are CI-friendly: 0 when clean, 1 when any finding (including
+unused suppressions) survives, 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.lint.core import all_rules, lint_paths
+from repro.lint.reporters import render_json, render_rule_list, render_text
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="jisclint: invariant linter for the JISC reproduction",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule registry and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    opts = parser.parse_args(argv)
+
+    if opts.list_rules:
+        print(render_rule_list())
+        return EXIT_CLEAN
+
+    select: Optional[List[str]] = None
+    if opts.select is not None:
+        select = [rid.strip() for rid in opts.select.split(",") if rid.strip()]
+        unknown = [rid for rid in select if rid not in all_rules()]
+        if unknown:
+            print(
+                f"jisclint: unknown rule id(s): {', '.join(unknown)}",
+                file=sys.stderr,
+            )
+            return EXIT_USAGE
+
+    try:
+        findings = lint_paths(opts.paths, select=select)
+    except OSError as exc:
+        print(f"jisclint: {exc}", file=sys.stderr)
+        return EXIT_USAGE
+
+    if opts.format == "json":
+        print(render_json(findings))
+    else:
+        print(render_text(findings))
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

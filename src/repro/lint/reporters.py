@@ -1,0 +1,56 @@
+"""Finding renderers: human text and machine JSON.
+
+Text findings are ``path:line:col: RULEID message`` — the format every
+editor and CI annotator already knows how to hyperlink.  JSON output is
+one object with a schema version, rule metadata, and the finding list,
+so downstream tooling does not have to parse human strings.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.lint.core import Finding, all_rules
+
+JSON_FORMAT_VERSION = 1
+
+
+def render_text(findings: Sequence[Finding]) -> str:
+    """One line per finding plus a summary tail line."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col}: {f.rule_id} {f.message}" for f in findings
+    ]
+    if findings:
+        by_rule: Dict[str, int] = {}
+        for f in findings:
+            by_rule[f.rule_id] = by_rule.get(f.rule_id, 0) + 1
+        tally = ", ".join(f"{rid}: {n}" for rid, n in sorted(by_rule.items()))
+        lines.append(f"jisclint: {len(findings)} finding(s) ({tally})")
+    else:
+        lines.append("jisclint: clean")
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding]) -> str:
+    registry = all_rules()
+    payload = {
+        "version": JSON_FORMAT_VERSION,
+        "tool": "jisclint",
+        "rules": {
+            rid: {"name": cls.name, "description": cls.description}
+            for rid, cls in sorted(registry.items())
+        },
+        "findings": [f.to_json() for f in findings],
+        "count": len(findings),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def render_rule_list() -> str:
+    """The ``--list-rules`` table."""
+    lines: List[str] = []
+    for rid, cls in sorted(all_rules().items()):
+        lines.append(f"{rid}  {cls.name}")
+        lines.append(f"       {cls.description}")
+    return "\n".join(lines)

@@ -2,19 +2,31 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.engine.cost import CostModel, VirtualClock
 from repro.engine.metrics import Metrics
 from repro.obs.tracer import PHASE_MIGRATING
+from repro.operators.base import Operator
 from repro.operators.joins import NestedLoopsJoin, SymmetricHashJoin
+from repro.operators.unary import UnaryOperator
 from repro.plans.build import OpFactory, PhysicalPlan, build_plan
-from repro.plans.spec import PlanSpec, left_deep
+from repro.plans.spec import PlanSpec, SpecOrOrder, left_deep
+
+#: What ``as_spec`` accepts: a nested spec, a flat left-deep stream order,
+#: or infix plan text.
+SpecLike = Union[str, SpecOrOrder]
+
+#: Factory for one persistent unary operator stacked above the join root.
+TopFactory = Callable[[Operator, Metrics], UnaryOperator]
+
+#: Theta predicate over two join-attribute values.
+Predicate = Callable[[Any, Any], bool]
 from repro.streams.schema import Schema
 from repro.streams.tuples import StreamTuple
 
 
-def join_factory(join: str = "hash", predicate: Optional[Callable] = None) -> OpFactory:
+def join_factory(join: str = "hash", predicate: Optional[Predicate] = None) -> OpFactory:
     """Operator factory for ``"hash"`` (symmetric hash) or ``"nl"`` joins."""
     if join == "hash":
         return lambda l, r, m: SymmetricHashJoin(l, r, m)
@@ -24,7 +36,7 @@ def join_factory(join: str = "hash", predicate: Optional[Callable] = None) -> Op
 
 
 def hybrid_join_factory(
-    theta_streams, predicate: Optional[Callable] = None
+    theta_streams: Iterable[str], predicate: Optional[Predicate] = None
 ) -> OpFactory:
     """Mixed plans (Section 2.1): hash joins for equi-join streams,
     nested-loops joins where a general theta predicate is involved.
@@ -38,7 +50,7 @@ def hybrid_join_factory(
     """
     theta = frozenset(theta_streams)
 
-    def factory(left, right, metrics):
+    def factory(left: Operator, right: Operator, metrics: Metrics) -> Operator:
         brings_theta = bool(right.membership & theta) or (
             len(left.membership) == 1 and bool(left.membership & theta)
         )
@@ -49,7 +61,7 @@ def hybrid_join_factory(
     return factory
 
 
-def as_spec(spec_or_order) -> PlanSpec:
+def as_spec(spec_or_order: SpecLike) -> PlanSpec:
     """Accept a nested spec, a flat left-deep stream order, or plan text.
 
     Strings are parsed as infix plan expressions (``"(R ⋈ S) ⋈ T"``,
@@ -90,12 +102,12 @@ class MigrationStrategy:
     def __init__(
         self,
         schema: Schema,
-        initial_spec,
+        initial_spec: SpecLike,
         metrics: Optional[Metrics] = None,
         join: str = "hash",
         cost_model: Optional[CostModel] = None,
         op_factory: Optional[OpFactory] = None,
-        top_factories: Optional[Sequence[Callable]] = None,
+        top_factories: Optional[Sequence[TopFactory]] = None,
     ):
         self.schema = schema
         self.join = join
@@ -134,7 +146,7 @@ class MigrationStrategy:
             tracer.arrival(tup)
         self.plan.feed(tup)
 
-    def transition(self, new_spec) -> None:
+    def transition(self, new_spec: SpecLike) -> None:
         """Switch to ``new_spec`` via the strategy's ``_do_transition``.
 
         The wrapper owns the observability contract shared by every
@@ -156,7 +168,7 @@ class MigrationStrategy:
             tracer.set_phase(prev)
             tracer.transition_end(self.name, seq, cost=self.now() - start)
 
-    def _do_transition(self, new_spec) -> None:
+    def _do_transition(self, new_spec: SpecLike) -> None:
         """Strategy-specific migration policy (override in subclasses)."""
         raise NotImplementedError
 
@@ -164,7 +176,7 @@ class MigrationStrategy:
     def outputs(self) -> List[Any]:
         return self.plan.sink.outputs
 
-    def output_lineages(self) -> List[Tuple]:
+    def output_lineages(self) -> List[Tuple[Tuple[str, int], ...]]:
         return self.plan.sink.output_lineages()
 
     # -- shared helpers --------------------------------------------------------------
@@ -175,7 +187,7 @@ class MigrationStrategy:
         return self._last_seq + 1
 
     @property
-    def clock(self):
+    def clock(self) -> Optional[VirtualClock]:
         return self.metrics.clock
 
     def now(self) -> float:
@@ -193,5 +205,5 @@ class StaticPlanExecutor(MigrationStrategy):
 
     name = "static"
 
-    def _do_transition(self, new_spec) -> None:
+    def _do_transition(self, new_spec: SpecLike) -> None:
         return None

@@ -14,13 +14,14 @@ completion work on the first fresh probe of each pending value.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Iterable, Optional, Sequence, Set
 
 from repro.core.controller import JISCController
 from repro.core.transition import perform_jisc_transition
 from repro.engine.cost import CostModel
 from repro.engine.metrics import Metrics
-from repro.migration.base import MigrationStrategy, as_spec
+from repro.migration.base import MigrationStrategy, SpecLike, TopFactory, as_spec
+from repro.plans.build import OpFactory
 from repro.streams.schema import Schema
 from repro.streams.tuples import StreamTuple
 
@@ -33,15 +34,15 @@ class JISCStrategy(MigrationStrategy):
     def __init__(
         self,
         schema: Schema,
-        initial_spec,
+        initial_spec: SpecLike,
         metrics: Optional[Metrics] = None,
         join: str = "hash",
         cost_model: Optional[CostModel] = None,
         force_recursive: bool = False,
         naive_recheck: bool = False,
-        op_factory=None,
+        op_factory: Optional[OpFactory] = None,
         expiry_optimization: bool = True,
-        top_factories=None,
+        top_factories: Optional[Sequence[TopFactory]] = None,
     ):
         super().__init__(
             schema, initial_spec, metrics, join, cost_model, op_factory, top_factories
@@ -59,7 +60,7 @@ class JISCStrategy(MigrationStrategy):
         super().process(tup)
         self.controller.after_arrival(tup)
 
-    def _do_transition(self, new_spec) -> None:
+    def _do_transition(self, new_spec: SpecLike) -> None:
         self.plan = perform_jisc_transition(
             self.plan,
             as_spec(new_spec),
@@ -77,7 +78,7 @@ class JISCStrategy(MigrationStrategy):
         """Number of currently incomplete states."""
         return len(self.controller.incomplete_ops)
 
-    def pending_values(self, names) -> Optional[set]:
+    def pending_values(self, names: Iterable[str]) -> Optional[Set[Any]]:
         """Pending completion values of the state covering ``names``."""
         state = self.plan.state_of(names)
         return None if state.status.pending is None else set(state.status.pending)

@@ -19,10 +19,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.engine.cost import CostModel, VirtualClock
 from repro.engine.metrics import Counter, Metrics
-from repro.migration.base import as_spec
+from repro.migration.base import SpecLike, as_spec
 from repro.plans.spec import leaves
 from repro.streams.schema import Schema
-from repro.streams.tuples import CompositeTuple, StreamTuple
+from repro.streams.tuples import CompositeTuple, Lineage, StreamTuple
 from repro.streams.window import SlidingWindow, TimeSlidingWindow
 from repro.operators.state import HashState
 
@@ -35,7 +35,7 @@ class MJoinExecutor:
     def __init__(
         self,
         schema: Schema,
-        initial_spec,
+        initial_spec: SpecLike,
         metrics: Optional[Metrics] = None,
         cost_model: Optional[CostModel] = None,
     ):
@@ -98,7 +98,7 @@ class MJoinExecutor:
         """The other streams, in the current plan's bottom-up order."""
         return tuple(name for name in self.order if name != stream)
 
-    def transition(self, new_spec) -> None:
+    def transition(self, new_spec: SpecLike) -> None:
         """Only the probe orders change; no state moves."""
         new_order = tuple(leaves(as_spec(new_spec)))
         if set(new_order) != set(self.order):
@@ -110,5 +110,5 @@ class MJoinExecutor:
         if tracer.enabled:
             tracer.transition_end(self.name, -1, cost=0.0)
 
-    def output_lineages(self) -> List[Tuple]:
+    def output_lineages(self) -> List[Lineage]:
         return [tup.lineage for tup in self.outputs]

@@ -22,7 +22,7 @@ from typing import Any, List, Optional, Set, Tuple
 
 from repro.engine.cost import CostModel
 from repro.engine.metrics import Counter, Metrics
-from repro.migration.base import MigrationStrategy, as_spec
+from repro.migration.base import MigrationStrategy, SpecLike, as_spec
 from repro.obs.tracer import PHASE_MIGRATING
 from repro.plans.build import PhysicalPlan, build_plan
 from repro.streams.schema import Schema
@@ -48,7 +48,7 @@ class ParallelTrackStrategy(MigrationStrategy):
     def __init__(
         self,
         schema: Schema,
-        initial_spec,
+        initial_spec: SpecLike,
         metrics: Optional[Metrics] = None,
         join: str = "hash",
         cost_model: Optional[CostModel] = None,
@@ -106,7 +106,7 @@ class ParallelTrackStrategy(MigrationStrategy):
             if prev is not None:
                 tracer.set_phase(prev)
 
-    def _do_transition(self, new_spec) -> None:
+    def _do_transition(self, new_spec: SpecLike) -> None:
         plan = build_plan(
             as_spec(new_spec),
             self.schema,

@@ -5,6 +5,8 @@ for the timeline CLI (``python -m repro.obs.report trace.jsonl``), and
 ``docs/OBSERVABILITY.md`` for the JSONL schema and usage guide.
 """
 
+from typing import Any
+
 from repro.obs.histogram import LatencyHistogram
 from repro.obs.tracer import (
     NULL_TRACER,
@@ -37,7 +39,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> Any:
     # Lazy: importing repro.obs.report here would pre-load the module and
     # make ``python -m repro.obs.report`` emit a runpy RuntimeWarning.
     if name in ("render_report", "timeline"):

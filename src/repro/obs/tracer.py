@@ -28,9 +28,13 @@ from __future__ import annotations
 
 import json
 from collections import deque
-from typing import Any, Dict, Iterable, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.obs.histogram import LatencyHistogram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.engine.cost import VirtualClock
+    from repro.streams.tuples import AnyTuple, StreamTuple
 
 FORMAT_VERSION = 1
 
@@ -106,7 +110,7 @@ class Tracer:
 
     # -- wiring -----------------------------------------------------------------------
 
-    def attach(self, target) -> Any:
+    def attach(self, target: Any) -> Any:
         """Attach to a strategy (anything with ``.metrics``) or a Metrics.
 
         Counters accumulated *before* attaching are credited to the current
@@ -128,34 +132,34 @@ class Tracer:
 
     # -- span / event hooks ------------------------------------------------------------
 
-    def arrival(self, tup) -> None:
+    def arrival(self, tup: "StreamTuple") -> None:
         pass
 
-    def output(self, tup, when: float) -> None:
+    def output(self, tup: "AnyTuple", when: float) -> None:
         pass
 
-    def transition_start(self, strategy: str, seq: int, **data) -> None:
+    def transition_start(self, strategy: str, seq: int, **data: Any) -> None:
         pass
 
-    def transition_end(self, strategy: str, seq: int, **data) -> None:
+    def transition_end(self, strategy: str, seq: int, **data: Any) -> None:
         pass
 
-    def migration_end(self, strategy: str, **data) -> None:
+    def migration_end(self, strategy: str, **data: Any) -> None:
         pass
 
-    def completion(self, op_label: str, key, **data) -> None:
+    def completion(self, op_label: str, key: Any, **data: Any) -> None:
         pass
 
-    def promote(self, n: int, **data) -> None:
+    def promote(self, n: int, **data: Any) -> None:
         pass
 
-    def demote(self, n: int, **data) -> None:
+    def demote(self, n: int, **data: Any) -> None:
         pass
 
-    def checkpoint(self, strategy: str, **data) -> None:
+    def checkpoint(self, strategy: str, **data: Any) -> None:
         pass
 
-    def note(self, what: str, **data) -> None:
+    def note(self, what: str, **data: Any) -> None:
         pass
 
 
@@ -180,21 +184,21 @@ class RecordingTracer(Tracer):
 
     enabled = True
 
-    def __init__(self, capacity: int = 100_000, clock=None):
+    def __init__(self, capacity: int = 100_000, clock: Optional["VirtualClock"] = None):
         if capacity <= 0:
             raise ValueError("capacity must be positive")
         self.capacity = capacity
-        self.events: deque = deque(maxlen=capacity)
+        self.events: "deque[TraceEvent]" = deque(maxlen=capacity)
         self.dropped = 0
         self.phase = PHASE_STEADY
         self.phase_counts: Dict[str, Dict[str, int]] = {}
         self.latency: Dict[str, LatencyHistogram] = {}
-        self._clock = clock
-        self._arrival_vt: Dict[tuple, float] = {}
+        self._clock: Optional["VirtualClock"] = clock
+        self._arrival_vt: Dict[Tuple[str, int], float] = {}
 
     # -- wiring -----------------------------------------------------------------------
 
-    def attach(self, target) -> Any:
+    def attach(self, target: Any) -> Any:
         metrics = getattr(target, "metrics", target)
         if metrics.counts:
             by = self.phase_counts.setdefault(self.phase, {})
@@ -227,10 +231,10 @@ class RecordingTracer(Tracer):
 
     # -- span / event hooks ------------------------------------------------------------
 
-    def arrival(self, tup) -> None:
+    def arrival(self, tup: "StreamTuple") -> None:
         self._arrival_vt[(tup.stream, tup.seq)] = self._now()
 
-    def output(self, tup, when: float) -> None:
+    def output(self, tup: "AnyTuple", when: float) -> None:
         born = max(
             (
                 self._arrival_vt[ref]
@@ -246,28 +250,28 @@ class RecordingTracer(Tracer):
         hist.add(latency)
         self._record(EVENT_OUTPUT, {"tuple_id": list(tup.lineage), "latency": latency})
 
-    def transition_start(self, strategy: str, seq: int, **data) -> None:
+    def transition_start(self, strategy: str, seq: int, **data: Any) -> None:
         self._record(EVENT_TRANSITION_START, {"strategy": strategy, "seq": seq, **data})
 
-    def transition_end(self, strategy: str, seq: int, **data) -> None:
+    def transition_end(self, strategy: str, seq: int, **data: Any) -> None:
         self._record(EVENT_TRANSITION_END, {"strategy": strategy, "seq": seq, **data})
 
-    def migration_end(self, strategy: str, **data) -> None:
+    def migration_end(self, strategy: str, **data: Any) -> None:
         self._record(EVENT_MIGRATION_END, {"strategy": strategy, **data})
 
-    def completion(self, op_label: str, key, **data) -> None:
+    def completion(self, op_label: str, key: Any, **data: Any) -> None:
         self._record(EVENT_COMPLETION, {"op": op_label, "key": key, **data})
 
-    def promote(self, n: int, **data) -> None:
+    def promote(self, n: int, **data: Any) -> None:
         self._record(EVENT_PROMOTE, {"n": n, **data})
 
-    def demote(self, n: int, **data) -> None:
+    def demote(self, n: int, **data: Any) -> None:
         self._record(EVENT_DEMOTE, {"n": n, **data})
 
-    def checkpoint(self, strategy: str, **data) -> None:
+    def checkpoint(self, strategy: str, **data: Any) -> None:
         self._record(EVENT_CHECKPOINT, {"strategy": strategy, **data})
 
-    def note(self, what: str, **data) -> None:
+    def note(self, what: str, **data: Any) -> None:
         self._record(EVENT_NOTE, {"what": what, **data})
 
     # -- aggregates --------------------------------------------------------------------

@@ -21,7 +21,7 @@ from typing import Iterable, Optional, Tuple
 
 from repro.engine.metrics import Counter, Metrics
 from repro.operators.state import HashState
-from repro.streams.tuples import CompositeTuple, StreamTuple
+from repro.streams.tuples import AnyTuple, CompositeTuple, StreamTuple
 
 Part = Tuple[str, int]
 
@@ -67,7 +67,7 @@ class Operator:
 
     # -- data flow -----------------------------------------------------------------
 
-    def process(self, tup, child: Optional["Operator"]) -> None:
+    def process(self, tup: AnyTuple, child: Optional["Operator"]) -> None:
         """Handle a tuple pushed by ``child`` (``None`` for external input)."""
         raise NotImplementedError
 
@@ -88,7 +88,7 @@ class Operator:
 
     # -- upward emission -----------------------------------------------------------
 
-    def emit(self, tup) -> None:
+    def emit(self, tup: AnyTuple) -> None:
         """Push an output tuple to the parent operator."""
         self.metrics.count(Counter.TUPLE_EMIT)
         if self.parent is None:

@@ -14,15 +14,18 @@ pipelines leave the hook unset; they never hold incomplete states anyway.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.engine.metrics import Counter, Metrics
 from repro.operators.base import BinaryOperator, Operator
-from repro.operators.state import HashState
-from repro.streams.tuples import CompositeTuple
+from repro.operators.state import Entry, HashState
+from repro.streams.tuples import AnyTuple, CompositeTuple
 
 #: completion hook signature: (probing_tuple, join_node, opposite_child) -> None
 CompletionHook = Callable[[object, "JoinOperator", Operator], None]
+
+#: theta predicate over two join-attribute values
+Predicate = Callable[[Any, Any], bool]
 
 
 class JoinOperator(BinaryOperator):
@@ -39,7 +42,7 @@ class JoinOperator(BinaryOperator):
         # Section 5.2).
         self.probe_observer: Optional[Callable[[Operator, bool], None]] = None
 
-    def matches_in(self, state: HashState, key) -> List:
+    def matches_in(self, state: HashState, key: Any) -> List[Entry]:
         """All entries of ``state`` joining a tuple with join value ``key``.
 
         Subclasses define the access path (hash bucket vs. full scan) and
@@ -49,7 +52,9 @@ class JoinOperator(BinaryOperator):
         """
         raise NotImplementedError
 
-    def process(self, tup, child: Operator) -> None:
+    def process(self, tup: AnyTuple, child: Optional[Operator]) -> None:
+        if child is None:
+            raise ValueError("join operators receive tuples from children only")
         opposite = self.opposite(child)
         if not opposite.state.status.complete and self.completion_hook is not None:
             self.completion_hook(tup, self, opposite)
@@ -86,7 +91,9 @@ class JoinOperator(BinaryOperator):
                 if self.state.add(result):
                     self.metrics.count(Counter.HASH_INSERT)
 
-    def build_state_for_key(self, key, exclude_part=None) -> None:
+    def build_state_for_key(
+        self, key: Any, exclude_part: Optional[Tuple[str, int]] = None
+    ) -> None:
         """Compute this operator's state entries for ``key`` from its children.
 
         Used by JISC state completion (Procedures 2 and 3): both children's
@@ -119,7 +126,7 @@ class JoinOperator(BinaryOperator):
 class SymmetricHashJoin(JoinOperator):
     """Equi-join via symmetric hashing on the shared join attribute."""
 
-    def matches_in(self, state: HashState, key) -> List:
+    def matches_in(self, state: HashState, key: Any) -> List[Entry]:
         self.metrics.count(Counter.HASH_PROBE)
         return state.get(key)
 
@@ -138,13 +145,13 @@ class NestedLoopsJoin(JoinOperator):
         left: Operator,
         right: Operator,
         metrics: Metrics,
-        predicate: Optional[Callable] = None,
+        predicate: Optional[Predicate] = None,
     ):
         super().__init__(left, right, metrics)
         self.predicate = predicate or (lambda a, b: a == b)
 
-    def matches_in(self, state: HashState, key) -> List:
-        out = []
+    def matches_in(self, state: HashState, key: Any) -> List[Entry]:
+        out: List[Entry] = []
         n = 0
         for entry in state.entries():
             n += 1

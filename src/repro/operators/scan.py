@@ -11,7 +11,9 @@ the new tuple never joins with expired state.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from typing import Callable, Optional, Union
+
+from repro.streams.tuples import AnyTuple
 
 from repro.engine.metrics import Counter, Metrics
 from repro.operators.base import Operator
@@ -35,6 +37,7 @@ class StreamScan(Operator):
     ):
         super().__init__(metrics)
         self.stream = stream
+        self.window: Union[SlidingWindow, TimeSlidingWindow]
         if window_kind == "count":
             self.window = SlidingWindow(window)
         elif window_kind == "time":
@@ -69,8 +72,8 @@ class StreamScan(Operator):
         if self.expire_hook is not None:
             self.expire_hook(evicted)
 
-    def process(self, tup, child) -> None:  # pragma: no cover - defensive
+    def process(self, tup: AnyTuple, child: Optional[Operator]) -> None:  # pragma: no cover - defensive
         raise TypeError("StreamScan has no children; use insert()")
 
-    def remove(self, part, child, fresh: bool = True) -> None:  # pragma: no cover
+    def remove(self, part: "tuple[str, int]", child: Operator, fresh: bool = True) -> None:  # pragma: no cover
         raise TypeError("StreamScan has no children")

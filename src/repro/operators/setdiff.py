@@ -35,7 +35,9 @@ Two suppression semantics are supported:
 
 from __future__ import annotations
 
-from typing import Dict, Set, Tuple
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.streams.tuples import AnyTuple
 
 from repro.engine.metrics import Counter, Metrics
 from repro.operators.base import BinaryOperator, Operator
@@ -70,7 +72,9 @@ class SetDifference(BinaryOperator):
 
     # -- data flow -------------------------------------------------------------
 
-    def process(self, tup, child: Operator) -> None:
+    def process(self, tup: AnyTuple, child: Optional[Operator]) -> None:
+        if not isinstance(tup, StreamTuple):
+            raise TypeError("set-difference chains carry base tuples only")
         if child is self.left:
             self._process_outer(tup)
         else:
@@ -115,7 +119,9 @@ class SetDifference(BinaryOperator):
         if not self.state.status.complete and isinstance(self.parent, SetDifference):
             self.parent._process_inner(tup)
 
-    def _register_suppression(self, outer: StreamTuple, matches) -> None:
+    def _register_suppression(
+        self, outer: StreamTuple, matches: List[AnyTuple]
+    ) -> None:
         part = self._part_of(outer)
         self._suppress_count[part] = len(matches)
         self._suppressed_tuples[part] = outer
@@ -162,7 +168,9 @@ class SetDifference(BinaryOperator):
 
     # -- JISC completion primitive -----------------------------------------------
 
-    def build_state_for_key(self, key, exclude_part=None) -> None:
+    def build_state_for_key(
+        self, key: Any, exclude_part: Optional[Part] = None
+    ) -> None:
         """JISC completion primitive: rebuild entries for ``key``.
 
         Both children are assumed complete for ``key``.  Outer entries with
@@ -187,7 +195,7 @@ class SetDifference(BinaryOperator):
                     self.metrics.count(Counter.HASH_INSERT)
 
     @staticmethod
-    def _part_of(tup) -> Part:
+    def _part_of(tup: AnyTuple) -> Part:
         lineage = tup.lineage
         if len(lineage) != 1:
             raise ValueError("set-difference chains carry base tuples only")

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from typing import Any, List, Optional, Tuple
 
+from repro.streams.tuples import AnyTuple
+
 from repro.engine.metrics import Counter, Metrics
 from repro.operators.base import Operator
 
@@ -37,7 +39,7 @@ class OutputSink(Operator):
         """Make this sink the parent of ``root``."""
         root.parent = self
 
-    def process(self, tup, child) -> None:
+    def process(self, tup: AnyTuple, child: Optional[Operator]) -> None:
         self.metrics.count(Counter.OUTPUT)
         self.outputs.append(tup)
         clock = self.metrics.clock
@@ -47,7 +49,7 @@ class OutputSink(Operator):
         if tracer.enabled:
             tracer.output(tup, when)
 
-    def remove(self, part: Part, child, fresh: bool = True) -> None:
+    def remove(self, part: Part, child: Operator, fresh: bool = True) -> None:
         self.retractions.append(part)
 
     def first_output_at_or_after(self, t: float) -> Optional[float]:

@@ -22,10 +22,10 @@ from __future__ import annotations
 
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.streams.tuples import CompositeTuple, StreamTuple
+from repro.streams.tuples import AnyTuple, CompositeTuple, StreamTuple
 
 Lineage = Tuple[Tuple[str, int], ...]
-Entry = "StreamTuple | CompositeTuple"
+Entry = AnyTuple
 
 
 class StateStatus:

@@ -10,7 +10,9 @@ a plan transition.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.streams.tuples import AnyTuple
 
 from repro.engine.metrics import Counter, Metrics
 from repro.operators.base import Operator, UnaryOperator
@@ -27,13 +29,13 @@ class Select(UnaryOperator):
         super().__init__(child, metrics)
         self.predicate = predicate
 
-    def process(self, tup, child) -> None:
+    def process(self, tup: AnyTuple, child: Optional[Operator]) -> None:
         if self.predicate(tup):
             if self.state.add(tup):
                 self.metrics.count(Counter.HASH_INSERT)
             self.emit(tup)
 
-    def remove(self, part: Part, child, fresh: bool = True) -> None:
+    def remove(self, part: Part, child: Operator, fresh: bool = True) -> None:
         removed = self.state.remove_with_part(part)
         self.metrics.count_n(Counter.STATE_REMOVE, len(removed))
         if removed:
@@ -56,11 +58,11 @@ class Project(UnaryOperator):
         super().__init__(child, metrics)
         self.transform = transform
 
-    def process(self, tup, child) -> None:
+    def process(self, tup: AnyTuple, child: Optional[Operator]) -> None:
         self.transform(tup)
         self.emit(tup)
 
-    def remove(self, part: Part, child, fresh: bool = True) -> None:
+    def remove(self, part: Part, child: Operator, fresh: bool = True) -> None:
         self.emit_removal(part, fresh)
 
 
@@ -77,13 +79,13 @@ class GroupByCount(UnaryOperator):
         super().__init__(child, metrics)
         self.counts: Dict[Any, int] = {}
 
-    def process(self, tup, child) -> None:
+    def process(self, tup: AnyTuple, child: Optional[Operator]) -> None:
         self.counts[tup.key] = self.counts.get(tup.key, 0) + 1
         if self.state.add(tup):
             self.metrics.count(Counter.HASH_INSERT)
         self.emit(tup)
 
-    def remove(self, part: Part, child, fresh: bool = True) -> None:
+    def remove(self, part: Part, child: Operator, fresh: bool = True) -> None:
         removed = self.state.remove_with_part(part)
         self.metrics.count_n(Counter.STATE_REMOVE, len(removed))
         for entry in removed:

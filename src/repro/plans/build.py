@@ -13,7 +13,7 @@ operators with a sink on top.  Migration strategies pass
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.engine.metrics import Metrics
 from repro.operators.base import BinaryOperator, Operator
@@ -59,7 +59,7 @@ class PhysicalPlan:
         """All operators: scans then internal nodes (children first)."""
         return list(self.scans.values()) + list(self.internal)
 
-    def state_of(self, names) -> HashState:
+    def state_of(self, names: Iterable[str]) -> HashState:
         """State of the internal node covering exactly ``names`` (join kind).
 
         Convenience for tests; raises ``KeyError`` if no such node.

@@ -12,9 +12,12 @@ converts both ways:
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, NoReturn, Optional
 
 from repro.plans.spec import PlanSpec, is_leaf
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.plans.build import PhysicalPlan
 
 #: accepted join-symbol spellings, longest first so ``|x|`` wins over ``x``
 JOIN_TOKENS = ("⋈", "|x|", "*")
@@ -34,7 +37,7 @@ class _Parser:
         self.text = text
         self.pos = 0
 
-    def error(self, message: str):
+    def error(self, message: str) -> "NoReturn":
         raise ValueError(f"{message} at position {self.pos} in {self.text!r}")
 
     def skip_ws(self) -> None:
@@ -98,7 +101,7 @@ def parse_plan(text: str) -> PlanSpec:
     return spec
 
 
-def render_tree(spec: PlanSpec, plan=None) -> str:
+def render_tree(spec: PlanSpec, plan: Optional["PhysicalPlan"] = None) -> str:
     """Multi-line ASCII tree of a spec.
 
     With ``plan`` (a :class:`~repro.plans.build.PhysicalPlan`), each

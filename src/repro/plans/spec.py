@@ -15,10 +15,17 @@ from __future__ import annotations
 
 from typing import FrozenSet, Iterator, List, Sequence, Tuple, Union
 
+from typing import TypeGuard
+
 PlanSpec = Union[str, Tuple["PlanSpec", "PlanSpec"]]
 
+#: What strategy constructors accept: a nested spec, or a flat left-deep
+#: stream order (see ``repro.migration.base.as_spec``).
+SpecOrOrder = Union[PlanSpec, Sequence[str]]
 
-def is_leaf(spec: PlanSpec) -> bool:
+
+def is_leaf(spec: PlanSpec) -> TypeGuard[str]:
+    """Leaf test, narrowing ``spec`` to ``str`` for type checkers."""
     return isinstance(spec, str)
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 import heapq
 import math
 import random
-from typing import Callable, Dict, List, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Sequence, Tuple, Union
 
 from repro.streams.tuples import StreamTuple
 
@@ -84,7 +84,7 @@ class PoissonArrivals:
         self.key_domain = key_domain
         self.seed = seed
 
-    def _draw_key(self, stream: str, rng: random.Random):
+    def _draw_key(self, stream: str, rng: random.Random) -> Any:
         domain = self.key_domain
         if isinstance(domain, dict):
             domain = domain[stream]

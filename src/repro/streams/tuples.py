@@ -21,7 +21,7 @@ holding the join attribute value.
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Tuple
+from typing import Any, Iterable, Optional, Tuple, Union
 
 
 class StreamTuple:
@@ -141,7 +141,14 @@ class CompositeTuple:
         return hash(self.lineage)
 
 
-def lineage_key(tup: "StreamTuple | CompositeTuple") -> Tuple[Tuple[str, int], ...]:
+#: Any tuple flowing through a plan: a base tuple or a join result.
+AnyTuple = Union[StreamTuple, CompositeTuple]
+
+#: Canonical tuple identity: sorted ``(stream, seq)`` pairs of constituents.
+Lineage = Tuple[Tuple[str, int], ...]
+
+
+def lineage_key(tup: AnyTuple) -> Lineage:
     """Canonical identity of any tuple: its sorted constituent lineage.
 
     Used as the duplicate-elimination key by the Parallel Track strategy and
@@ -150,7 +157,7 @@ def lineage_key(tup: "StreamTuple | CompositeTuple") -> Tuple[Tuple[str, int], .
     return tup.lineage
 
 
-def parts_of(tup: "StreamTuple | CompositeTuple") -> Iterable[StreamTuple]:
+def parts_of(tup: AnyTuple) -> Iterable[StreamTuple]:
     """Iterate over the base tuples a (possibly base) tuple is built from."""
     if isinstance(tup, CompositeTuple):
         return tup.parts

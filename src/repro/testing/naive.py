@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from itertools import product
-from typing import Deque, Dict, List, Sequence, Tuple
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.streams.schema import Schema
 from repro.streams.tuples import StreamTuple
@@ -85,7 +85,7 @@ class NaiveSetDifferenceOracle:
         self._suppressed_forever: set = set()
         self.outputs: List[Lineage] = []
 
-    def _live_suppressors(self, key, exclude: StreamTuple = None) -> int:
+    def _live_suppressors(self, key: Any, exclude: Optional[StreamTuple] = None) -> int:
         return sum(
             1
             for name in self.inners

@@ -1,0 +1,633 @@
+"""Tests for the jisclint static-analysis framework (``repro.lint``).
+
+Each rule gets true-positive and true-negative fixtures, linted as if the
+snippet lived at an engine path (``src/repro/...``) — the rules key off
+repo-relative module paths, so the ``path=`` argument is part of every
+fixture.  The framework itself is covered via suppressions (honored and
+unused), the reporters, and the CLI exit-code contract.
+
+The fixture snippets below *contain* violations on purpose; they live in
+string literals, which the AST-based rules never see when this file itself
+is linted (and the suppression scanner is token-based, so suppression text
+inside these strings does not register either).  That is what keeps
+``python -m repro.lint src tests benchmarks`` clean on the real tree.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.lint import (
+    Finding,
+    all_rules,
+    lint_paths,
+    lint_source,
+    render_json,
+    render_text,
+)
+from repro.lint.cli import EXIT_CLEAN, EXIT_FINDINGS, EXIT_USAGE, main
+
+ENGINE = "src/repro/engine/example.py"
+
+
+def ids(findings, rule=None):
+    """The rule ids of ``findings`` (optionally only those matching ``rule``)."""
+    return [f.rule_id for f in findings if rule is None or f.rule_id == rule]
+
+
+def run(snippet, path=ENGINE, select=None):
+    return lint_source(textwrap.dedent(snippet), path=path, select=select)
+
+
+# ---------------------------------------------------------------------------
+# JISC001 — determinism
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminism:
+    def test_wall_clock_flagged(self):
+        findings = run(
+            """
+            import time
+            now = time.time()
+            """
+        )
+        assert ids(findings, "JISC001")
+
+    def test_datetime_now_flagged(self):
+        findings = run(
+            """
+            import datetime
+            stamp = datetime.datetime.now()
+            """
+        )
+        assert ids(findings, "JISC001")
+
+    def test_module_level_random_flagged(self):
+        findings = run(
+            """
+            import random
+            key = random.randrange(100)
+            """
+        )
+        assert ids(findings, "JISC001")
+
+    def test_seeded_rng_instance_ok(self):
+        findings = run(
+            """
+            import random
+
+            def make_rng(seed: int) -> random.Random:
+                return random.Random(seed)
+
+            def draw(rng: random.Random) -> int:
+                return rng.randrange(100)
+            """
+        )
+        assert not ids(findings, "JISC001")
+
+    def test_from_import_of_module_random_flagged(self):
+        findings = run("from random import randrange\n")
+        assert ids(findings, "JISC001")
+
+    def test_from_import_of_random_class_ok(self):
+        findings = run("from random import Random\n")
+        assert not ids(findings, "JISC001")
+
+    def test_os_urandom_flagged(self):
+        findings = run(
+            """
+            import os
+            token = os.urandom(8)
+            """
+        )
+        assert ids(findings, "JISC001")
+
+    def test_outside_engine_not_flagged(self):
+        findings = run(
+            """
+            import time
+            now = time.time()
+            """,
+            path="tests/test_example.py",
+        )
+        assert not ids(findings, "JISC001")
+
+
+# ---------------------------------------------------------------------------
+# JISC002 — tracer purity
+# ---------------------------------------------------------------------------
+
+
+class TestTracerPurity:
+    def test_hook_as_statement_ok(self):
+        findings = run(
+            """
+            def f(tracer, op):
+                tracer.on_count(op, 1)
+            """
+        )
+        assert not ids(findings, "JISC002")
+
+    def test_hook_result_assigned_flagged(self):
+        findings = run(
+            """
+            def f(tracer, op):
+                x = tracer.on_count(op, 1)
+                return x
+            """
+        )
+        assert ids(findings, "JISC002")
+
+    def test_hook_result_in_condition_flagged(self):
+        findings = run(
+            """
+            def f(tracer, tup):
+                if tracer.output(tup, 0.0):
+                    return 1
+                return 0
+            """
+        )
+        assert ids(findings, "JISC002")
+
+    def test_hook_result_as_argument_flagged(self):
+        findings = run(
+            """
+            def f(tracer, tup):
+                print(tracer.arrival(tup, 0.0))
+            """
+        )
+        assert ids(findings, "JISC002")
+
+    def test_set_phase_exempt(self):
+        findings = run(
+            """
+            def f(tracer):
+                prev = tracer.set_phase("migrating")
+                tracer.set_phase(prev)
+            """
+        )
+        assert not ids(findings, "JISC002")
+
+    def test_obs_package_exempt(self):
+        findings = run(
+            """
+            def f(tracer, op):
+                x = tracer.on_count(op, 1)
+                return x
+            """,
+            path="src/repro/obs/report.py",
+        )
+        assert not ids(findings, "JISC002")
+
+
+# ---------------------------------------------------------------------------
+# JISC003 — phase attribution
+# ---------------------------------------------------------------------------
+
+
+class TestPhaseAttribution:
+    def test_direct_counts_store_flagged(self):
+        findings = run(
+            """
+            def f(metrics):
+                metrics.counts["hash_probe"] = 3
+            """
+        )
+        assert ids(findings, "JISC003")
+
+    def test_counts_mutator_call_flagged(self):
+        findings = run(
+            """
+            def f(self):
+                self.metrics.counts.clear()
+            """
+        )
+        assert ids(findings, "JISC003")
+
+    def test_count_api_ok(self):
+        findings = run(
+            """
+            def f(metrics):
+                metrics.count("hash_probe")
+                metrics.count_n("hash_insert", 3)
+            """
+        )
+        assert not ids(findings, "JISC003")
+
+    def test_reading_counts_ok(self):
+        findings = run(
+            """
+            def f(metrics):
+                return metrics.counts.get("output", 0)
+            """
+        )
+        assert not ids(findings, "JISC003")
+
+    def test_unrelated_self_counts_ok(self):
+        # GroupByCount keeps its own ``self.counts`` dict; only the
+        # Metrics bag is protected.
+        findings = run(
+            """
+            def f(self, key):
+                self.counts[key] = self.counts.get(key, 0) + 1
+            """
+        )
+        assert not ids(findings, "JISC003")
+
+    def test_metrics_module_itself_exempt(self):
+        findings = run(
+            """
+            def count(self, op):
+                self.counts[op] = self.counts.get(op, 0) + 1
+            """,
+            path="src/repro/engine/metrics.py",
+        )
+        assert not ids(findings, "JISC003")
+
+
+# ---------------------------------------------------------------------------
+# JISC004 — state discipline
+# ---------------------------------------------------------------------------
+
+
+class TestStateDiscipline:
+    def test_state_add_outside_allowlist_flagged(self):
+        findings = run(
+            """
+            def f(state, entry):
+                state.add(entry)
+            """,
+            path="src/repro/migration/example.py",
+        )
+        assert ids(findings, "JISC004")
+
+    def test_status_transition_outside_allowlist_flagged(self):
+        findings = run(
+            """
+            def f(status):
+                status.mark_complete()
+            """,
+            path="src/repro/migration/example.py",
+        )
+        assert ids(findings, "JISC004")
+
+    def test_operators_package_allowed(self):
+        findings = run(
+            """
+            def f(state, entry):
+                state.add(entry)
+            """,
+            path="src/repro/operators/joins.py",
+        )
+        assert not ids(findings, "JISC004")
+
+    def test_core_package_allowed(self):
+        findings = run(
+            """
+            def f(status):
+                status.mark_complete()
+            """,
+            path="src/repro/core/completion.py",
+        )
+        assert not ids(findings, "JISC004")
+
+    def test_state_read_ok_anywhere(self):
+        findings = run(
+            """
+            def f(state, key):
+                return state.get(key)
+            """,
+            path="src/repro/migration/example.py",
+        )
+        assert not ids(findings, "JISC004")
+
+
+# ---------------------------------------------------------------------------
+# JISC005 — queue discipline
+# ---------------------------------------------------------------------------
+
+
+class TestQueueDiscipline:
+    def test_direct_operator_process_flagged(self):
+        findings = run(
+            """
+            def f(parent, tup, child):
+                parent.process(tup, child)
+            """
+        )
+        assert ids(findings, "JISC005")
+
+    def test_strategy_process_one_arg_ok(self):
+        findings = run(
+            """
+            def f(strategy, tup):
+                strategy.process(tup)
+            """
+        )
+        assert not ids(findings, "JISC005")
+
+    def test_base_operator_module_allowed(self):
+        findings = run(
+            """
+            def emit(self, tup, parent, child):
+                parent.process(tup, child)
+            """,
+            path="src/repro/operators/base.py",
+        )
+        assert not ids(findings, "JISC005")
+
+    def test_queued_engine_allowed(self):
+        findings = run(
+            """
+            def drain_one(self, target, tup, child):
+                target.process(tup, child)
+            """,
+            path="src/repro/engine/queued.py",
+        )
+        assert not ids(findings, "JISC005")
+
+
+# ---------------------------------------------------------------------------
+# JISC006 — hygiene
+# ---------------------------------------------------------------------------
+
+
+class TestHygiene:
+    def test_bare_except_flagged(self):
+        findings = run(
+            """
+            def f():
+                try:
+                    return 1
+                except:
+                    return 0
+            """
+        )
+        assert ids(findings, "JISC006")
+
+    def test_typed_except_ok(self):
+        findings = run(
+            """
+            def f():
+                try:
+                    return 1
+                except ValueError:
+                    return 0
+            """
+        )
+        assert not ids(findings, "JISC006")
+
+    def test_engine_assert_flagged(self):
+        findings = run(
+            """
+            def f(x):
+                assert x > 0
+                return x
+            """
+        )
+        assert ids(findings, "JISC006")
+
+    def test_test_assert_ok(self):
+        findings = run(
+            """
+            def test_f():
+                assert 1 + 1 == 2
+            """,
+            path="tests/test_example.py",
+        )
+        assert not ids(findings, "JISC006")
+
+    def test_mutable_default_literal_flagged(self):
+        findings = run("def f(items=[]):\n    return items\n")
+        assert ids(findings, "JISC006")
+
+    def test_mutable_default_call_flagged(self):
+        findings = run("def f(items=dict()):\n    return items\n")
+        assert ids(findings, "JISC006")
+
+    def test_none_default_ok(self):
+        findings = run("def f(items=None):\n    return items\n")
+        assert not ids(findings, "JISC006")
+
+
+# ---------------------------------------------------------------------------
+# Suppressions
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressions:
+    def test_line_suppression_honored(self):
+        findings = run(
+            """
+            def f(state, entry):
+                state.add(entry)  # jisclint: disable=JISC004
+            """,
+            path="src/repro/migration/example.py",
+        )
+        assert not ids(findings, "JISC004")
+        assert not ids(findings, "JISC000")
+
+    def test_file_suppression_honored(self):
+        findings = run(
+            """
+            # jisclint: disable-file=JISC004
+            def f(state, entry):
+                state.add(entry)
+
+            def g(status):
+                status.mark_complete()
+            """,
+            path="src/repro/migration/example.py",
+        )
+        assert not findings
+
+    def test_unused_suppression_reported(self):
+        findings = run(
+            """
+            def f():
+                return 1  # jisclint: disable=JISC004
+            """,
+            path="src/repro/migration/example.py",
+        )
+        assert ids(findings, "JISC000")
+
+    def test_suppression_only_covers_named_rule(self):
+        findings = run(
+            """
+            def f(parent, tup, child):
+                parent.process(tup, child)  # jisclint: disable=JISC004
+            """
+        )
+        # JISC005 still fires; the JISC004 suppression is unused.
+        assert ids(findings, "JISC005")
+        assert ids(findings, "JISC000")
+
+    def test_suppression_text_in_string_ignored(self):
+        findings = run(
+            """
+            DOC = "write  # jisclint: disable=JISC001  on the offending line"
+            """
+        )
+        assert not findings
+
+    def test_multiple_ids_one_comment(self):
+        findings = run(
+            """
+            import time
+
+            def f(parent, tup, child):
+                parent.process(time.time(), child)  # jisclint: disable=JISC001,JISC005
+            """
+        )
+        assert not findings
+
+
+# ---------------------------------------------------------------------------
+# Framework: registry, syntax errors, reporters
+# ---------------------------------------------------------------------------
+
+
+class TestFramework:
+    def test_registry_has_all_rules(self):
+        registry = all_rules()
+        for rid in ("JISC001", "JISC002", "JISC003", "JISC004", "JISC005", "JISC006"):
+            assert rid in registry
+
+    def test_select_restricts_rules(self):
+        snippet = """
+            import time
+
+            def f(parent, tup, child):
+                parent.process(time.time(), child)
+        """
+        only_005 = run(snippet, select=["JISC005"])
+        assert set(ids(only_005)) == {"JISC005"}
+
+    def test_syntax_error_reported_not_raised(self):
+        findings = lint_source("def broken(:\n", path=ENGINE)
+        assert ids(findings, "JISC999")
+
+    def test_findings_sorted_by_position(self):
+        findings = run(
+            """
+            import time
+
+            def g():
+                return time.time()
+
+            def f():
+                return time.time()
+            """
+        )
+        assert findings == sorted(findings, key=lambda f: f.sort_key())
+
+    def test_render_text_clean(self):
+        assert "clean" in render_text([])
+
+    def test_render_text_lists_findings(self):
+        f = Finding("JISC001", "src/repro/x.py", 3, 7, "wall clock")
+        text = render_text([f])
+        assert "src/repro/x.py:3:7" in text
+        assert "JISC001" in text
+
+    def test_render_json_schema(self):
+        f = Finding("JISC001", "src/repro/x.py", 3, 7, "wall clock")
+        payload = json.loads(render_json([f]))
+        assert payload["tool"] == "jisclint"
+        assert payload["count"] == 1
+        row = payload["findings"][0]
+        assert row["rule"] == "JISC001"
+        assert row["line"] == 3
+
+    def test_lint_paths_walks_tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text("import time\nx = time.time()\n")
+        (pkg / "good.py").write_text("x = 1\n")
+        findings = lint_paths([str(tmp_path)])
+        assert ids(findings, "JISC001")
+        assert all(f.path.endswith("bad.py") for f in findings)
+
+
+# ---------------------------------------------------------------------------
+# CLI contract
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main([str(tmp_path)]) == EXIT_CLEAN
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        bad = tmp_path / "src" / "repro" / "engine"
+        bad.mkdir(parents=True)
+        (bad / "bad.py").write_text("import time\nx = time.time()\n")
+        assert main([str(tmp_path)]) == EXIT_FINDINGS
+        assert "JISC001" in capsys.readouterr().out
+
+    def test_unknown_select_exit_two(self, capsys):
+        assert main(["--select", "JISC777", "."]) == EXIT_USAGE
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exit_two(self, tmp_path, capsys):
+        assert main([str(tmp_path / "nope")]) == EXIT_USAGE
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        assert main(["--format", "json", str(tmp_path)]) == EXIT_CLEAN
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        assert "JISC001" in out and "JISC006" in out
+
+    def test_module_entry_point(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.lint", "--list-rules"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.returncode == EXIT_CLEAN
+        assert "JISC001" in proc.stdout
+
+
+# ---------------------------------------------------------------------------
+# Benchmark JSON anchoring (satellite: CWD-independent BENCH_*.json)
+# ---------------------------------------------------------------------------
+
+
+class TestBenchAnchoring:
+    def test_repo_root_is_anchored_to_file_not_cwd(self):
+        from benchmarks import common
+
+        assert os.path.isabs(common.REPO_ROOT)
+        assert os.path.isfile(os.path.join(common.REPO_ROOT, "pyproject.toml"))
+
+    def test_emit_json_lands_at_repo_root_from_any_cwd(self, tmp_path, monkeypatch):
+        from benchmarks import common
+
+        monkeypatch.chdir(tmp_path)
+        name = "_cwd_independence_check"
+        expected = os.path.join(common.REPO_ROOT, f"BENCH_{name}.json")
+        try:
+            common.emit_json(name, {"ok": True})
+            assert os.path.isfile(expected)
+            assert not os.path.exists(tmp_path / f"BENCH_{name}.json")
+            with open(expected) as fh:
+                assert json.load(fh)["bench"] == name
+        finally:
+            if os.path.exists(expected):
+                os.remove(expected)
