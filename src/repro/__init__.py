@@ -24,6 +24,10 @@ Observability (see docs/OBSERVABILITY.md)::
 
     from repro import RecordingTracer, load_trace, render_report
 
+Fault injection & crash recovery (see docs/FAULT_INJECTION.md)::
+
+    from repro import FaultPlan, FaultInjector, RecoveryManager, InvariantChecker
+
 Section 5 analysis::
 
     from repro.analysis import expected_complete_states, monte_carlo_summary
@@ -68,6 +72,13 @@ from repro.migration import (
     MJoinExecutor,
 )
 from repro.eddy import CACQExecutor, STAIRSExecutor, JISCStairsExecutor
+from repro.faults import (
+    FaultInjector,
+    FaultPlan,
+    InvariantChecker,
+    RecoveryManager,
+    SimulatedCrash,
+)
 from repro.obs import RecordingTracer, Tracer, load_trace
 from repro.workloads import chain_scenario, migration_stage_events, frequency_events
 
@@ -103,6 +114,11 @@ __all__ = [
     "CACQExecutor",
     "STAIRSExecutor",
     "JISCStairsExecutor",
+    "FaultInjector",
+    "FaultPlan",
+    "InvariantChecker",
+    "RecoveryManager",
+    "SimulatedCrash",
     "RecordingTracer",
     "Tracer",
     "load_trace",

@@ -9,49 +9,168 @@ the round-trip test asserts the continuation is output-identical to an
 uninterrupted run, including mid-migration checkpoints.
 
 Supported strategies: :class:`~repro.migration.jisc.JISCStrategy`,
-:class:`~repro.migration.moving_state.MovingStateStrategy` and
-:class:`~repro.migration.base.StaticPlanExecutor`, over join plans (hash or
+:class:`~repro.migration.moving_state.MovingStateStrategy`,
+:class:`~repro.migration.base.StaticPlanExecutor` and their buffered
+variants (:mod:`repro.engine.queued`), over join plans (hash or
 nested-loops with the default equality predicate).  Join-attribute values
 and payloads must be JSON-serializable.
+
+Format history:
+
+* v1 — windows, states, JISC controller bookkeeping.
+* v2 — adds the pending :class:`~repro.engine.queued.QueueScheduler`
+  backlog of buffered strategies (``queue``/``auto_drain``).  Before v2 a
+  crash between enqueue and drain silently lost every queued tuple.
+  v1 checkpoints still restore (empty backlog).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.controller import JISCStateInfo
 from repro.migration.base import MigrationStrategy, StaticPlanExecutor
 from repro.migration.jisc import JISCStrategy
 from repro.migration.moving_state import MovingStateStrategy
+from repro.operators.base import Operator
+from repro.plans.build import PhysicalPlan
 from repro.plans.spec import PlanSpec
 from repro.streams.schema import Schema, StreamDescriptor
-from repro.streams.tuples import CompositeTuple, StreamTuple
+from repro.streams.tuples import AnyTuple, CompositeTuple, StreamTuple
 
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
 
-_STRATEGY_KINDS = {
-    "jisc": JISCStrategy,
-    "moving_state": MovingStateStrategy,
-    "static": StaticPlanExecutor,
-}
+#: Checkpoint versions ``restore_strategy`` understands.
+SUPPORTED_VERSIONS = (1, 2)
 
 
-def _spec_to_json(spec: PlanSpec) -> Any:
+def _strategy_kinds() -> Dict[str, type]:
+    # Resolved lazily: engine.queued imports migration.jisc which must not
+    # re-enter this module at import time.
+    from repro.engine.queued import BufferedJISCStrategy, BufferedStaticExecutor
+
+    return {
+        "jisc": JISCStrategy,
+        "moving_state": MovingStateStrategy,
+        "static": StaticPlanExecutor,
+        "jisc_buffered": BufferedJISCStrategy,
+        "static_buffered": BufferedStaticExecutor,
+    }
+
+
+def spec_to_json(spec: PlanSpec) -> Any:
+    """JSON-compatible form of a plan spec (strings and nested pairs)."""
     if isinstance(spec, str):
         return spec
-    return [_spec_to_json(spec[0]), _spec_to_json(spec[1])]
+    return [spec_to_json(spec[0]), spec_to_json(spec[1])]
 
 
-def _spec_from_json(data: Any) -> PlanSpec:
+def spec_from_json(data: Any) -> PlanSpec:
+    """Inverse of :func:`spec_to_json`."""
     if isinstance(data, str):
         return data
-    return (_spec_from_json(data[0]), _spec_from_json(data[1]))
+    return (spec_from_json(data[0]), spec_from_json(data[1]))
+
+
+def _tuple_to_json(tup: AnyTuple) -> Dict[str, Any]:
+    """Serialize a (possibly composite) queued tuple by its constituents."""
+    if isinstance(tup, CompositeTuple):
+        parts = tup.parts
+        composite = True
+    else:
+        parts = (tup,)
+        composite = False
+    return {
+        "composite": composite,
+        "key": tup.key,
+        "parts": [[p.stream, p.seq, p.key, p.payload] for p in parts],
+    }
+
+
+def _tuple_from_json(
+    data: Dict[str, Any], base_tuples: Dict[Tuple[str, int], StreamTuple]
+) -> AnyTuple:
+    parts: List[StreamTuple] = []
+    for stream, seq, key, payload in data["parts"]:
+        tup = base_tuples.get((stream, seq))
+        if tup is None:
+            # The part expired from its window after the item was queued;
+            # rebuild it standalone.
+            tup = StreamTuple(stream, seq, key, payload)
+        parts.append(tup)
+    if not data["composite"]:
+        return parts[0]
+    return CompositeTuple(data["key"], tuple(sorted(parts, key=lambda p: p.stream)))
+
+
+def _op_ref(op: Optional[Operator]) -> Optional[List[Any]]:
+    """Identify an operator across checkpoint/restore: kind + membership."""
+    if op is None:
+        return None
+    return [op.kind, sorted(op.membership)]
+
+
+def _resolve_op(ref: Optional[List[Any]], plan: PhysicalPlan) -> Optional[Operator]:
+    if ref is None:
+        return None
+    kind, names = ref[0], ref[1]
+    if kind == "sink":
+        return plan.sink
+    if kind == "scan":
+        return plan.scans[names[0]]
+    membership = frozenset(names)
+    for op in plan.internal:
+        if op.membership == membership:
+            return op
+    raise ValueError(f"queued item references unknown operator {ref!r}")
+
+
+def _queue_to_json(strategy: MigrationStrategy) -> Optional[List[Dict[str, Any]]]:
+    """Serialize the pending scheduler backlog of a buffered strategy.
+
+    Returns ``None`` for unbuffered strategies.  Before format v2 this
+    backlog was dropped on the floor: a crash between enqueue and drain
+    lost every queued tuple (see tests/test_fault_recovery.py).
+    """
+    scheduler = getattr(strategy, "scheduler", None)
+    if scheduler is None:
+        return None
+    items: List[Dict[str, Any]] = []
+    for item in scheduler.snapshot():
+        if item[0] == "process":
+            _, target, tup, child = item
+            items.append(
+                {
+                    "op": "process",
+                    "target": _op_ref(target),
+                    "tuple": _tuple_to_json(tup),
+                    "child": _op_ref(child),
+                }
+            )
+        else:
+            _, target, part, child, fresh = item
+            items.append(
+                {
+                    "op": "remove",
+                    "target": _op_ref(target),
+                    "part": list(part),
+                    "child": _op_ref(child),
+                    "fresh": fresh,
+                }
+            )
+    return items
 
 
 def checkpoint_strategy(strategy: MigrationStrategy) -> Dict[str, Any]:
     """Capture ``strategy``'s full execution state."""
-    if strategy.name not in _STRATEGY_KINDS:
+    if strategy.name not in _strategy_kinds():
         raise ValueError(f"checkpointing is not supported for {strategy.name!r}")
+    for op in strategy.plan.internal:
+        if op.kind != "join":
+            raise ValueError(
+                f"checkpointing is not supported for plans with "
+                f"{op.kind!r} operators (joins only)"
+            )
     tracer = strategy.metrics.tracer
     if tracer.enabled:
         tracer.checkpoint(
@@ -65,7 +184,7 @@ def checkpoint_strategy(strategy: MigrationStrategy) -> Dict[str, Any]:
         "version": FORMAT_VERSION,
         "strategy": strategy.name,
         "join": strategy.join,
-        "spec": _spec_to_json(plan.spec),
+        "spec": spec_to_json(plan.spec),
         "last_seq": strategy._last_seq,
         "schema": {
             "key": schema.key,
@@ -96,6 +215,10 @@ def checkpoint_strategy(strategy: MigrationStrategy) -> Dict[str, Any]:
         ],
         "outputs_emitted": len(strategy.outputs),
     }
+    queue = _queue_to_json(strategy)
+    if queue is not None:
+        data["queue"] = queue
+        data["auto_drain"] = getattr(strategy, "auto_drain", True)
     if isinstance(strategy, JISCStrategy):
         controller = strategy.controller
         data["controller"] = {
@@ -123,9 +246,12 @@ def checkpoint_strategy(strategy: MigrationStrategy) -> Dict[str, Any]:
 
 def restore_strategy(data: Dict[str, Any]) -> MigrationStrategy:
     """Rebuild a strategy from a checkpoint produced by ``checkpoint_strategy``."""
-    if data.get("version") != FORMAT_VERSION:
+    if data.get("version") not in SUPPORTED_VERSIONS:
         raise ValueError(f"unsupported checkpoint version {data.get('version')!r}")
-    cls = _STRATEGY_KINDS[data["strategy"]]
+    kinds = _strategy_kinds()
+    if data.get("strategy") not in kinds:
+        raise ValueError(f"unsupported checkpoint strategy {data.get('strategy')!r}")
+    cls = kinds[data["strategy"]]
     schema = Schema(
         tuple(
             StreamDescriptor(s["name"], s["window"], s["kind"])
@@ -133,7 +259,7 @@ def restore_strategy(data: Dict[str, Any]) -> MigrationStrategy:
         ),
         data["schema"]["key"],
     )
-    spec = _spec_from_json(data["spec"])
+    spec = spec_from_json(data["spec"])
     strategy = cls(schema, spec, join=data["join"])
     strategy._last_seq = data["last_seq"]
     plan = strategy.plan
@@ -192,4 +318,22 @@ def restore_strategy(data: Dict[str, Any]) -> MigrationStrategy:
         controller.incomplete_ops = {
             op for op in plan.internal if not op.state.status.complete
         }
+
+    # Pending queue backlog (format v2; buffered strategies only).
+    scheduler = getattr(strategy, "scheduler", None)
+    if scheduler is not None:
+        if "auto_drain" in data:
+            strategy.auto_drain = data["auto_drain"]  # type: ignore[attr-defined]
+        items: List[Tuple[Any, ...]] = []
+        for row in data.get("queue", []):
+            target = _resolve_op(row["target"], plan)
+            child = _resolve_op(row["child"], plan)
+            if row["op"] == "process":
+                tup = _tuple_from_json(row["tuple"], base_tuples)
+                items.append(("process", target, tup, child))
+            else:
+                part = (row["part"][0], row["part"][1])
+                items.append(("remove", target, part, child, row["fresh"]))
+        if items:
+            scheduler.requeue(items)
     return strategy

@@ -29,7 +29,7 @@ expired state; fuzzing found exactly that).
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Optional, Tuple
+from typing import Any, Callable, Deque, List, Optional, Tuple
 
 from repro.engine.metrics import Counter, Metrics
 from repro.migration.base import SpecLike, StaticPlanExecutor
@@ -37,6 +37,14 @@ from repro.migration.jisc import JISCStrategy
 from repro.operators.base import Operator
 from repro.streams.schema import Schema
 from repro.streams.tuples import AnyTuple, StreamTuple
+
+#: One queued unit of work: ``("process", target, tup, child)`` or
+#: ``("remove", target, part, child, fresh)``.
+QueueItem = Tuple[Any, ...]
+
+#: Constructor hook for the scheduler a buffered strategy should use;
+#: fault injection (``repro.faults``) swaps in anomaly-injecting variants.
+SchedulerFactory = Callable[[Metrics], "QueueScheduler"]
 
 
 class QueueScheduler:
@@ -49,7 +57,7 @@ class QueueScheduler:
 
     def __init__(self, metrics: Metrics):
         self.metrics = metrics
-        self._queue: Deque[Tuple[Any, ...]] = deque()
+        self._queue: Deque[QueueItem] = deque()
 
     def enqueue_process(
         self, target: Operator, tup: AnyTuple, child: Optional[Operator]
@@ -83,6 +91,16 @@ class QueueScheduler:
     def pending(self) -> int:
         return len(self._queue)
 
+    def snapshot(self) -> List[QueueItem]:
+        """The queued work items, oldest first (checkpoint serialization)."""
+        return list(self._queue)
+
+    def requeue(self, items: List[QueueItem]) -> None:
+        """Re-enqueue previously snapshotted items (checkpoint restore)."""
+        for item in items:
+            self.metrics.count(Counter.QUEUE_OP)
+            self._queue.append(item)
+
     def discard_all(self) -> int:
         """Drop queued work unprocessed (the *unsafe* path of Section 4.1)."""
         n = len(self._queue)
@@ -99,6 +117,20 @@ class _BufferedMixin:
     def _wire_queues(self) -> None:
         for op in self.plan.operators():
             op.scheduler = self.scheduler
+
+    def install_scheduler(self, scheduler: QueueScheduler) -> None:
+        """Swap in a replacement scheduler, carrying over pending work.
+
+        Fault injection uses this to substitute an anomaly-injecting
+        scheduler (``repro.faults.queue_faults``) after construction or
+        after a checkpoint restore.
+        """
+        pending = self.scheduler.snapshot()
+        self.scheduler.discard_all()
+        if pending:
+            scheduler.requeue(pending)
+        self.scheduler = scheduler
+        self._wire_queues()
 
     def process(self, tup: StreamTuple) -> None:  # type: ignore[override]
         super().process(tup)
@@ -132,9 +164,11 @@ class BufferedStaticExecutor(_BufferedMixin, StaticPlanExecutor):
         metrics: Optional[Metrics] = None,
         join: str = "hash",
         auto_drain: bool = True,
+        scheduler_factory: Optional[SchedulerFactory] = None,
     ):
         super().__init__(schema, initial_spec, metrics, join)
-        self.scheduler = QueueScheduler(self.metrics)
+        factory = scheduler_factory or QueueScheduler
+        self.scheduler = factory(self.metrics)
         self.auto_drain = auto_drain
         self._wire_queues()
 
@@ -151,9 +185,11 @@ class BufferedJISCStrategy(_BufferedMixin, JISCStrategy):
         metrics: Optional[Metrics] = None,
         join: str = "hash",
         auto_drain: bool = True,
+        scheduler_factory: Optional[SchedulerFactory] = None,
     ):
         super().__init__(schema, initial_spec, metrics, join)
-        self.scheduler = QueueScheduler(self.metrics)
+        factory = scheduler_factory or QueueScheduler
+        self.scheduler = factory(self.metrics)
         self.auto_drain = auto_drain
         self._wire_queues()
 

@@ -1,0 +1,88 @@
+"""Deterministic fault injection and crash recovery.
+
+The subsystem simulates the failure modes a deployed JISC engine must
+survive — process crashes, queue anomalies (drop / duplicate / bounded
+reorder) and damaged checkpoint writes — and certifies that recovery keeps
+the paper's output contract: complete, closed, duplicate-free.
+
+* :mod:`repro.faults.plan` — seeded, reproducible fault schedules
+  (:class:`FaultPlan`) and their runtime injector (:class:`FaultInjector`).
+* :mod:`repro.faults.store` — durable storage (log, checkpoints, delivered
+  outputs) that survives a :class:`SimulatedCrash`.
+* :mod:`repro.faults.recovery` — :class:`RecoveryManager`: write-ahead
+  logging, checkpoint cadence, restore-and-replay, lineage dedupe.
+* :mod:`repro.faults.queue_faults` — anomaly-injecting queue scheduler for
+  the buffered strategies.
+* :mod:`repro.faults.invariants` — :class:`InvariantChecker` certifying
+  runs against the naive oracle.
+* :mod:`repro.faults.sweep` — the crash-point sweep / fault-soak CLI
+  (``python -m repro.faults.sweep``).
+
+See docs/FAULT_INJECTION.md for the fault model and the reproducibility
+contract.
+"""
+
+from repro.faults.invariants import (
+    InvariantChecker,
+    InvariantReport,
+    InvariantViolation,
+)
+from repro.faults.plan import (
+    CKPT_CORRUPT,
+    CKPT_MODES,
+    CKPT_TRUNCATE,
+    CRASH_AFTER_LOG,
+    CRASH_AFTER_PROCESS,
+    CRASH_BEFORE_LOG,
+    CRASH_POINTS,
+    NULL_INJECTOR,
+    QUEUE_DROP,
+    QUEUE_DUPLICATE,
+    QUEUE_KINDS,
+    QUEUE_REORDER,
+    CheckpointFault,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+    QueueFault,
+    SimulatedCrash,
+)
+from repro.faults.queue_faults import FaultyQueueScheduler, install_faulty_scheduler
+from repro.faults.recovery import RecoveryManager
+from repro.faults.store import (
+    CheckpointRecord,
+    DirectoryStore,
+    DurableStore,
+    MemoryStore,
+)
+
+__all__ = [
+    "CKPT_CORRUPT",
+    "CKPT_MODES",
+    "CKPT_TRUNCATE",
+    "CRASH_AFTER_LOG",
+    "CRASH_AFTER_PROCESS",
+    "CRASH_BEFORE_LOG",
+    "CRASH_POINTS",
+    "CheckpointFault",
+    "CheckpointRecord",
+    "CrashFault",
+    "DirectoryStore",
+    "DurableStore",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyQueueScheduler",
+    "InvariantChecker",
+    "InvariantReport",
+    "InvariantViolation",
+    "MemoryStore",
+    "NULL_INJECTOR",
+    "QUEUE_DROP",
+    "QUEUE_DUPLICATE",
+    "QUEUE_KINDS",
+    "QUEUE_REORDER",
+    "QueueFault",
+    "RecoveryManager",
+    "SimulatedCrash",
+    "install_faulty_scheduler",
+]

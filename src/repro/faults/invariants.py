@@ -1,0 +1,198 @@
+"""Output and state invariants a recovered run must satisfy.
+
+The JISC correctness contract (Section 3 of the paper) is that migration —
+and, here, crash recovery — must be invisible in the output: the result
+stream stays **complete** (every join result the windows imply), **closed**
+(nothing the windows do not imply) and **duplicate-free**.  The
+:class:`InvariantChecker` certifies all three against the brute-force
+:class:`~repro.testing.naive.NaiveJoinOracle`, which shares no code with
+the engine, plus a structural sanity check over the live strategy: a state
+marked *complete* must hold exactly the entries the current windows imply,
+and an *incomplete* one may only lag behind — a checkpoint that restored an
+incomplete state as complete is caught here.
+
+Violations are reported as an :class:`InvariantReport` and raised as
+:class:`InvariantViolation` (a ``RuntimeError``, not an ``AssertionError``:
+the checker is a runtime certifier, usable outside pytest and under
+``python -O``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Sequence, Tuple
+
+from repro.migration.base import MigrationStrategy
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+from repro.testing.naive import NaiveJoinOracle
+
+Part = Tuple[str, int]
+Lineage = Tuple[Part, ...]
+
+
+class InvariantViolation(RuntimeError):
+    """A recovered run broke completeness, closedness or duplicate-freeness."""
+
+
+@dataclass
+class InvariantReport:
+    """Outcome of one certification pass.
+
+    ``violations`` holds one human-readable line per broken invariant
+    (empty means the run is certified); the counts summarize the
+    comparison for sweep output.
+    """
+
+    arrivals: int = 0
+    expected_outputs: int = 0
+    delivered_outputs: int = 0
+    violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def raise_if_violated(self, context: str = "") -> None:
+        if self.ok:
+            return
+        prefix = f"{context}: " if context else ""
+        raise InvariantViolation(prefix + "; ".join(self.violations))
+
+
+def _preview(lineages: Sequence[Lineage], limit: int = 3) -> str:
+    shown = ", ".join(repr(l) for l in sorted(lineages)[:limit])
+    more = len(lineages) - limit
+    return shown + (f", ... +{more}" if more > 0 else "")
+
+
+class InvariantChecker:
+    """Certify a (possibly crashed-and-recovered) run against the oracle."""
+
+    def __init__(self, schema: Schema, streams: Sequence[str]):
+        self.schema = schema
+        self.streams = tuple(streams)
+
+    # -- output invariants -----------------------------------------------------------
+
+    def check_output(
+        self, arrivals: Sequence[StreamTuple], delivered: Sequence[Lineage]
+    ) -> InvariantReport:
+        """Compare the delivered-output log against the naive oracle.
+
+        Certifies the three guarantees over output *lineages*:
+        completeness (no oracle result missing), closedness (no result the
+        oracle did not produce) and duplicate-freeness (no lineage
+        delivered more often than the oracle produced it).
+        """
+        oracle = NaiveJoinOracle(self.schema, self.streams)
+        for tup in arrivals:
+            oracle.process(tup)
+        expected = Counter(oracle.output_lineages())
+        got = Counter(tuple(sorted(lineage)) for lineage in delivered)
+        report = InvariantReport(
+            arrivals=len(arrivals),
+            expected_outputs=sum(expected.values()),
+            delivered_outputs=sum(got.values()),
+        )
+        missing = expected - got
+        if missing:
+            report.violations.append(
+                f"incomplete: {sum(missing.values())} expected result(s) "
+                f"missing ({_preview(list(missing))})"
+            )
+        spurious = got - expected
+        if spurious:
+            report.violations.append(
+                f"not closed: {sum(spurious.values())} result(s) the windows "
+                f"do not imply ({_preview(list(spurious))})"
+            )
+        duplicated = [l for l, n in got.items() if n > max(1, expected.get(l, 1))]
+        if duplicated:
+            report.violations.append(
+                f"duplicates: {len(duplicated)} lineage(s) delivered more "
+                f"than once ({_preview(duplicated)})"
+            )
+        return report
+
+    # -- state invariants ------------------------------------------------------------
+
+    def check_states(self, strategy: MigrationStrategy) -> InvariantReport:
+        """Structural sanity of the live strategy's intermediate states.
+
+        For every internal join operator, the entries the current scan
+        windows imply (per-key cross product over the operator's member
+        streams) bound the actual state: a *complete* state must hold
+        exactly that set — so an incomplete state restored as complete is
+        detected — and an *incomplete* one at most a subset of it.
+
+        Only meaningful at quiescence (buffered backlog drained): a
+        legitimately lagging state is indistinguishable from a broken one
+        mid-drain.
+        """
+        report = InvariantReport()
+        plan = strategy.plan
+        windows: Dict[str, List[StreamTuple]] = {
+            name: list(scan.window) for name, scan in plan.scans.items()
+        }
+        for op in plan.internal:
+            members = sorted(op.membership)
+            expected = self._implied_lineages(windows, members)
+            actual = {tuple(sorted(e.lineage)) for e in op.state.entries()}
+            label = "+".join(members)
+            if op.state.status.complete:
+                if actual != expected:
+                    missing = expected - actual
+                    extra = actual - expected
+                    detail = []
+                    if missing:
+                        detail.append(f"missing {_preview(list(missing))}")
+                    if extra:
+                        detail.append(f"extra {_preview(list(extra))}")
+                    report.violations.append(
+                        f"state {label} marked complete but does not match "
+                        f"the windows ({'; '.join(detail)})"
+                    )
+            else:
+                extra = actual - expected
+                if extra:
+                    report.violations.append(
+                        f"incomplete state {label} holds entries the windows "
+                        f"do not imply ({_preview(list(extra))})"
+                    )
+        return report
+
+    def _implied_lineages(
+        self, windows: Dict[str, List[StreamTuple]], members: Sequence[str]
+    ) -> set:
+        by_key: Dict[str, Dict[object, List[StreamTuple]]] = {}
+        for name in members:
+            grouped: Dict[object, List[StreamTuple]] = {}
+            for tup in windows[name]:
+                grouped.setdefault(tup.key, []).append(tup)
+            by_key[name] = grouped
+        shared = set(by_key[members[0]])
+        for name in members[1:]:
+            shared &= set(by_key[name])
+        implied: set = set()
+        for key in shared:
+            for combo in product(*(by_key[name][key] for name in members)):
+                implied.add(tuple(sorted((t.stream, t.seq) for t in combo)))
+        return implied
+
+    # -- one-shot certification ------------------------------------------------------
+
+    def certify(
+        self,
+        strategy: MigrationStrategy,
+        arrivals: Sequence[StreamTuple],
+        delivered: Sequence[Lineage],
+        context: str = "",
+    ) -> InvariantReport:
+        """Run all checks; raise :class:`InvariantViolation` on any failure."""
+        report = self.check_output(arrivals, delivered)
+        report.violations.extend(self.check_states(strategy).violations)
+        report.raise_if_violated(context)
+        return report

@@ -1,0 +1,76 @@
+"""Queue anomaly injection: drop, duplicate, bounded reorder.
+
+:class:`FaultyQueueScheduler` is a drop-in
+:class:`~repro.engine.queued.QueueScheduler` whose ``enqueue_process``
+consults the :class:`~repro.faults.plan.FaultInjector` on every data
+enqueue and misbehaves on schedule:
+
+* **drop** — the item is silently discarded (models a lossy channel; the
+  corruption this causes is *detected* by the invariant checker, not
+  repaired — see tests/test_fault_queue_anomalies.py);
+* **duplicate** — the item is enqueued twice (at-least-once delivery; the
+  recovery manager's lineage dedupe restores exactly-once output);
+* **reorder** — the item jumps up to ``span`` positions ahead of its FIFO
+  slot (bounded out-of-order delivery within one drain).
+
+Removals are never faulted: they propagate synchronously by design (see
+``engine.queued``), so there is no queue to misbehave on.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.engine.metrics import Metrics
+from repro.engine.queued import BufferedJISCStrategy, BufferedStaticExecutor, QueueScheduler
+from repro.faults.plan import (
+    QUEUE_DROP,
+    QUEUE_DUPLICATE,
+    QUEUE_REORDER,
+    FaultInjector,
+)
+from repro.operators.base import Operator
+from repro.streams.tuples import AnyTuple
+
+BufferedStrategy = Union[BufferedJISCStrategy, BufferedStaticExecutor]
+
+
+class FaultyQueueScheduler(QueueScheduler):
+    """A queue scheduler that injects scheduled anomalies on enqueue."""
+
+    def __init__(self, metrics: Metrics, injector: FaultInjector):
+        super().__init__(metrics)
+        self.injector = injector
+
+    def enqueue_process(
+        self, target: Operator, tup: AnyTuple, child: Optional[Operator]
+    ) -> None:
+        fault = self.injector.queue_action()
+        if fault is None:
+            super().enqueue_process(target, tup, child)
+            return
+        if fault.kind == QUEUE_DROP:
+            return
+        if fault.kind == QUEUE_DUPLICATE:
+            super().enqueue_process(target, tup, child)
+            super().enqueue_process(target, tup, child)
+            return
+        # bounded reorder: enqueue, then jump at most ``span`` slots forward
+        super().enqueue_process(target, tup, child)
+        if fault.kind == QUEUE_REORDER and len(self._queue) > 1:
+            item = self._queue.pop()
+            position = max(0, len(self._queue) - fault.span)
+            self._queue.insert(position, item)
+
+
+def install_faulty_scheduler(
+    strategy: BufferedStrategy, injector: FaultInjector
+) -> FaultyQueueScheduler:
+    """Swap a buffered strategy's scheduler for an anomaly-injecting one.
+
+    Pending items carry over, so this is safe to apply after a checkpoint
+    restore with a non-empty backlog.  Returns the installed scheduler.
+    """
+    scheduler = FaultyQueueScheduler(strategy.metrics, injector)
+    strategy.install_scheduler(scheduler)
+    return scheduler

@@ -1,0 +1,154 @@
+"""Durable storage standing between the engine and a simulated crash.
+
+Everything a run must not lose lives here: checkpoints, the write-ahead
+arrival log, and the delivered-output log.  A :class:`SimulatedCrash`
+destroys the strategy object but never the store — exactly the split a
+real deployment has between process memory and stable storage.
+
+Two implementations share one interface:
+
+* :class:`MemoryStore` — in-process lists; the default for tests and the
+  crash-point sweep (fast, no I/O).
+* :class:`DirectoryStore` — JSON files under a directory (append-only
+  JSONL logs, one file per checkpoint), so recovery can also be exercised
+  across real process restarts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+Lineage = Tuple[Tuple[str, int], ...]
+
+#: One write-ahead log record: an arrival or a forced transition.
+LogRecord = Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class CheckpointRecord:
+    """One durable checkpoint: raw blob plus its log position.
+
+    ``log_pos`` is the number of log records applied before the checkpoint
+    was cut; recovery replays the log from there.  The blob is stored as
+    written — possibly damaged by an injected fault — and is only parsed
+    at recovery time.
+    """
+
+    checkpoint_id: int
+    blob: str
+    log_pos: int
+
+
+class DurableStore:
+    """Interface: what survives a crash."""
+
+    def append_log(self, record: LogRecord) -> None:
+        raise NotImplementedError
+
+    def log(self) -> List[LogRecord]:
+        raise NotImplementedError
+
+    def put_checkpoint(self, blob: str, log_pos: int) -> CheckpointRecord:
+        raise NotImplementedError
+
+    def checkpoints(self) -> List[CheckpointRecord]:
+        """All checkpoints, oldest first."""
+        raise NotImplementedError
+
+    def append_delivered(self, lineage: Lineage) -> None:
+        raise NotImplementedError
+
+    def delivered(self) -> List[Lineage]:
+        raise NotImplementedError
+
+
+class MemoryStore(DurableStore):
+    """In-process durable store (survives simulated crashes only)."""
+
+    def __init__(self) -> None:
+        self._log: List[LogRecord] = []
+        self._checkpoints: List[CheckpointRecord] = []
+        self._delivered: List[Lineage] = []
+
+    def append_log(self, record: LogRecord) -> None:
+        self._log.append(record)
+
+    def log(self) -> List[LogRecord]:
+        return list(self._log)
+
+    def put_checkpoint(self, blob: str, log_pos: int) -> CheckpointRecord:
+        record = CheckpointRecord(len(self._checkpoints), blob, log_pos)
+        self._checkpoints.append(record)
+        return record
+
+    def checkpoints(self) -> List[CheckpointRecord]:
+        return list(self._checkpoints)
+
+    def append_delivered(self, lineage: Lineage) -> None:
+        self._delivered.append(lineage)
+
+    def delivered(self) -> List[Lineage]:
+        return list(self._delivered)
+
+
+class DirectoryStore(DurableStore):
+    """File-backed durable store: JSONL logs plus one file per checkpoint."""
+
+    def __init__(self, path: str):
+        self.path = path
+        os.makedirs(path, exist_ok=True)
+        self._log_path = os.path.join(path, "arrivals.jsonl")
+        self._delivered_path = os.path.join(path, "delivered.jsonl")
+
+    def _append_line(self, path: str, payload: Any) -> None:
+        with open(path, "a") as fh:
+            fh.write(json.dumps(payload, sort_keys=True) + "\n")
+            fh.flush()
+
+    def _read_lines(self, path: str) -> List[Any]:
+        if not os.path.exists(path):
+            return []
+        with open(path) as fh:
+            return [json.loads(line) for line in fh if line.strip()]
+
+    def append_log(self, record: LogRecord) -> None:
+        self._append_line(self._log_path, record)
+
+    def log(self) -> List[LogRecord]:
+        return [dict(rec) for rec in self._read_lines(self._log_path)]
+
+    def _checkpoint_path(self, checkpoint_id: int) -> str:
+        return os.path.join(self.path, f"checkpoint-{checkpoint_id:06d}.json")
+
+    def put_checkpoint(self, blob: str, log_pos: int) -> CheckpointRecord:
+        checkpoint_id = len(self.checkpoints())
+        payload = {"log_pos": log_pos, "blob": blob}
+        with open(self._checkpoint_path(checkpoint_id), "w") as fh:
+            fh.write(json.dumps(payload, sort_keys=True))
+            fh.flush()
+        return CheckpointRecord(checkpoint_id, blob, log_pos)
+
+    def checkpoints(self) -> List[CheckpointRecord]:
+        records: List[CheckpointRecord] = []
+        for checkpoint_id in range(1_000_000):
+            path = self._checkpoint_path(checkpoint_id)
+            if not os.path.exists(path):
+                break
+            with open(path) as fh:
+                payload = json.load(fh)
+            records.append(
+                CheckpointRecord(checkpoint_id, payload["blob"], payload["log_pos"])
+            )
+        return records
+
+    def append_delivered(self, lineage: Lineage) -> None:
+        self._append_line(self._delivered_path, [list(part) for part in lineage])
+
+    def delivered(self) -> List[Lineage]:
+        return [
+            tuple((stream, seq) for stream, seq in row)
+            for row in self._read_lines(self._delivered_path)
+        ]

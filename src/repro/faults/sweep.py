@@ -1,0 +1,311 @@
+"""Crash-point sweep and seeded fault soak (``python -m repro.faults.sweep``).
+
+Two modes over the same workload (a uniform chain query with one forced
+mid-run plan transition, as in Section 6.1 of the paper):
+
+* **sweep** (default) — for every strategy and every arrival index, run
+  the workload under a :class:`~repro.faults.recovery.RecoveryManager`
+  with a crash scheduled at that arrival, and require the delivered output
+  to be multiset-identical to an uninterrupted run *and* certified by the
+  :class:`~repro.faults.invariants.InvariantChecker`.  Because the crash
+  index ranges over the whole run, the sweep necessarily covers crashes
+  inside the migration window.
+
+* **soak** (``--soak N``) — N randomized fault schedules from
+  :meth:`~repro.faults.plan.FaultPlan.from_seed` (crashes plus, for
+  buffered strategies, queue duplicates/reorders, plus checkpoint
+  corruption), same acceptance.  Every failure line prints the seed, so
+  the exact schedule replays byte-identically.
+
+With ``--trace DIR`` the failing runs' JSONL traces are exported for
+post-mortem via ``python -m repro.obs.report``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+from typing import Callable, List, Optional, Sequence, Tuple, cast
+
+from repro.engine.executor import Event, run_events
+from repro.engine.queued import BufferedJISCStrategy, BufferedStaticExecutor
+from repro.faults.invariants import InvariantChecker, InvariantViolation, Lineage
+from repro.faults.plan import (
+    CRASH_POINTS,
+    CrashFault,
+    FaultInjector,
+    FaultPlan,
+)
+from repro.faults.queue_faults import BufferedStrategy, install_faulty_scheduler
+from repro.faults.recovery import RecoveryManager
+from repro.migration.base import MigrationStrategy, StaticPlanExecutor
+from repro.migration.jisc import JISCStrategy
+from repro.migration.moving_state import MovingStateStrategy
+from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer
+from repro.streams.tuples import StreamTuple
+from repro.workloads.scenarios import ChainScenario, chain_scenario, migration_stage_events
+
+STRATEGIES: dict = {
+    "jisc": JISCStrategy,
+    "moving_state": MovingStateStrategy,
+    "static": StaticPlanExecutor,
+    "jisc_buffered": BufferedJISCStrategy,
+    "static_buffered": BufferedStaticExecutor,
+}
+
+#: Strategies with a queue scheduler (queue anomalies only apply to these).
+BUFFERED = ("jisc_buffered", "static_buffered")
+
+StrategyFactory = Callable[[], MigrationStrategy]
+
+
+def make_factory(name: str, scenario: ChainScenario) -> StrategyFactory:
+    """A factory building a fresh strategy incarnation for ``name``."""
+    cls = STRATEGIES[name]
+    return lambda: cls(scenario.schema, scenario.order)
+
+
+def _faulty_installer(injector: FaultInjector) -> Callable[[MigrationStrategy], None]:
+    def install(strategy: MigrationStrategy) -> None:
+        install_faulty_scheduler(cast(BufferedStrategy, strategy), injector)
+
+    return install
+
+
+def baseline_delivery(factory: StrategyFactory, events: Sequence[Event]) -> List[Lineage]:
+    """Delivered output of an uninterrupted (fault-free) run."""
+    strategy = run_events(factory(), events)
+    return [tuple(sorted(l)) for l in strategy.output_lineages()]
+
+
+def _arrivals(events: Sequence[Event]) -> List[StreamTuple]:
+    return [e for e in events if isinstance(e, StreamTuple)]
+
+
+def _export_trace(tracer: Tracer, trace_dir: Optional[str], label: str) -> str:
+    if trace_dir is None or not isinstance(tracer, RecordingTracer):
+        return ""
+    os.makedirs(trace_dir, exist_ok=True)
+    filename = label.replace("/", "-").replace("=", "") + ".jsonl"
+    path = os.path.join(trace_dir, filename)
+    tracer.export_jsonl(path)
+    return f" [trace: {path}]"
+
+
+def _run_one(
+    factory: StrategyFactory,
+    events: Sequence[Event],
+    scenario: ChainScenario,
+    plan: FaultPlan,
+    baseline: List[Lineage],
+    checkpoint_every: int,
+    label: str,
+    queue_faulty: bool,
+    trace_dir: Optional[str],
+) -> Optional[str]:
+    """One managed run under ``plan``; returns a failure line or ``None``."""
+    tracer: Tracer = RecordingTracer() if trace_dir is not None else NULL_TRACER
+    injector = FaultInjector(plan, tracer)
+    on_strategy: Optional[Callable[[MigrationStrategy], None]] = None
+    if queue_faulty:
+        on_strategy = _faulty_installer(injector)
+    manager = RecoveryManager(
+        factory,
+        checkpoint_every=checkpoint_every,
+        injector=injector,
+        tracer=tracer,
+        on_strategy=on_strategy,
+    )
+    delivered = manager.run(events)
+    got = sorted(tuple(sorted(l)) for l in delivered)
+    if got != sorted(baseline):
+        suffix = _export_trace(tracer, trace_dir, label)
+        return (
+            f"{label}: delivered output differs from uninterrupted run "
+            f"(|got|={len(got)}, |expected|={len(baseline)}){suffix}"
+        )
+    checker = InvariantChecker(scenario.schema, scenario.order)
+    try:
+        checker.certify(
+            manager._live_strategy(), _arrivals(events), delivered, context=label
+        )
+    except InvariantViolation as exc:
+        suffix = _export_trace(tracer, trace_dir, label)
+        return f"{exc}{suffix}"
+    return None
+
+
+def crash_sweep(
+    name: str,
+    scenario: ChainScenario,
+    events: Sequence[Event],
+    wheres: Sequence[str],
+    checkpoint_every: int,
+    trace_dir: Optional[str],
+) -> Tuple[int, List[str]]:
+    """Crash at every arrival index (and crash point); returns (runs, failures)."""
+    factory = make_factory(name, scenario)
+    baseline = baseline_delivery(factory, events)
+    n = len(_arrivals(events))
+    failures: List[str] = []
+    runs = 0
+    for index in range(n):
+        for where in wheres:
+            runs += 1
+            plan = FaultPlan(crashes=(CrashFault(index, where),))
+            failure = _run_one(
+                factory,
+                events,
+                scenario,
+                plan,
+                baseline,
+                checkpoint_every,
+                f"{name}/crash@{index}/{where}",
+                queue_faulty=False,
+                trace_dir=trace_dir,
+            )
+            if failure is not None:
+                failures.append(failure)
+    return runs, failures
+
+
+def fault_soak(
+    name: str,
+    scenario: ChainScenario,
+    events: Sequence[Event],
+    seeds: Sequence[int],
+    args: argparse.Namespace,
+) -> Tuple[int, List[str]]:
+    """Randomized fault schedules, one per seed; returns (runs, failures)."""
+    factory = make_factory(name, scenario)
+    baseline = baseline_delivery(factory, events)
+    n = len(_arrivals(events))
+    buffered = name in BUFFERED
+    failures: List[str] = []
+    for seed in seeds:
+        plan = FaultPlan.from_seed(
+            seed,
+            n_arrivals=n,
+            crashes=args.soak_crashes,
+            queue_duplicates=args.soak_duplicates if buffered else 0,
+            queue_reorders=args.soak_reorders if buffered else 0,
+            checkpoint_corruptions=args.soak_corruptions,
+        )
+        failure = _run_one(
+            factory,
+            events,
+            scenario,
+            plan,
+            baseline,
+            args.checkpoint_every,
+            f"{name}/soak-seed={seed}",
+            queue_faulty=buffered,
+            trace_dir=args.trace,
+        )
+        if failure is not None:
+            failures.append(f"{failure} (replay with --soak-seeds {seed})")
+    return len(seeds), failures
+
+
+def build_workload(args: argparse.Namespace) -> Tuple[ChainScenario, List[Event]]:
+    scenario = chain_scenario(
+        n_joins=args.streams - 1,
+        n_tuples=args.tuples,
+        window=args.window,
+        seed=args.seed,
+    )
+    warmup = args.warmup if args.warmup is not None else max(1, args.tuples // 3)
+    events = migration_stage_events(scenario, warmup, args.case)
+    return scenario, events
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faults.sweep",
+        description="Crash-point sweep and seeded fault soak over the "
+        "fault-injection subsystem (see docs/FAULT_INJECTION.md).",
+    )
+    parser.add_argument(
+        "--strategies",
+        default="jisc,moving_state,jisc_buffered",
+        help="comma-separated strategy names (%s)" % ",".join(sorted(STRATEGIES)),
+    )
+    parser.add_argument("--streams", type=int, default=4, help="streams in the chain")
+    parser.add_argument("--tuples", type=int, default=36, help="arrivals in the run")
+    parser.add_argument("--window", type=int, default=4, help="window size (tuples)")
+    parser.add_argument("--seed", type=int, default=0, help="workload seed")
+    parser.add_argument(
+        "--warmup", type=int, default=None, help="transition point (default: tuples/3)"
+    )
+    parser.add_argument(
+        "--case", choices=("best", "worst"), default="best", help="transition case"
+    )
+    parser.add_argument(
+        "--checkpoint-every", type=int, default=6, help="checkpoint cadence (log records)"
+    )
+    parser.add_argument(
+        "--where",
+        choices=("all",) + CRASH_POINTS,
+        default="after_log",
+        help="crash point(s) to sweep",
+    )
+    parser.add_argument(
+        "--no-sweep", action="store_true", help="skip the exhaustive crash sweep"
+    )
+    parser.add_argument(
+        "--soak", type=int, default=0, help="number of randomized soak seeds"
+    )
+    parser.add_argument(
+        "--soak-seeds",
+        type=int,
+        nargs="*",
+        default=None,
+        help="explicit soak seeds (overrides --soak)",
+    )
+    parser.add_argument("--soak-crashes", type=int, default=2)
+    parser.add_argument("--soak-duplicates", type=int, default=2)
+    parser.add_argument("--soak-reorders", type=int, default=2)
+    parser.add_argument("--soak-corruptions", type=int, default=1)
+    parser.add_argument(
+        "--trace", default=None, metavar="DIR", help="export failing runs' JSONL traces"
+    )
+    args = parser.parse_args(argv)
+
+    names = [n.strip() for n in args.strategies.split(",") if n.strip()]
+    for name in names:
+        if name not in STRATEGIES:
+            parser.error(f"unknown strategy {name!r}")
+    wheres: Tuple[str, ...] = (
+        CRASH_POINTS if args.where == "all" else (args.where,)
+    )
+    scenario, events = build_workload(args)
+    n_arrivals = len(_arrivals(events))
+    print(
+        f"workload: {args.streams} streams, {n_arrivals} arrivals, "
+        f"window {args.window}, transition at {args.warmup or max(1, args.tuples // 3)} "
+        f"({args.case} case), checkpoint every {args.checkpoint_every}"
+    )
+
+    all_failures: List[str] = []
+    for name in names:
+        if not args.no_sweep:
+            runs, failures = crash_sweep(
+                name, scenario, events, wheres, args.checkpoint_every, args.trace
+            )
+            status = "OK" if not failures else f"{len(failures)} FAILED"
+            print(f"sweep {name}: {runs} crash run(s): {status}")
+            all_failures.extend(failures)
+        seeds = args.soak_seeds if args.soak_seeds is not None else list(range(args.soak))
+        if seeds:
+            runs, failures = fault_soak(name, scenario, events, seeds, args)
+            status = "OK" if not failures else f"{len(failures)} FAILED"
+            print(f"soak  {name}: {runs} seeded run(s): {status}")
+            all_failures.extend(failures)
+
+    for line in all_failures:
+        print(f"FAIL {line}")
+    return 1 if all_failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

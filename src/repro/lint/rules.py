@@ -193,6 +193,8 @@ class TracerPurityRule(Rule):
         "demote",
         "checkpoint",
         "note",
+        "fault",
+        "recovery",
     }
     EXEMPT = {"set_phase", "attach"}
     #: Receiver names that identify a tracer object.

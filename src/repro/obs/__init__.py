@@ -12,6 +12,7 @@ from repro.obs.tracer import (
     NULL_TRACER,
     PHASE_COMPLETING,
     PHASE_MIGRATING,
+    PHASE_RECOVERING,
     PHASE_STEADY,
     PHASES,
     RecordingTracer,
@@ -26,6 +27,7 @@ __all__ = [
     "NULL_TRACER",
     "PHASE_COMPLETING",
     "PHASE_MIGRATING",
+    "PHASE_RECOVERING",
     "PHASE_STEADY",
     "PHASES",
     "RecordingTracer",

@@ -30,9 +30,11 @@ from repro.obs.tracer import (
     EVENT_CHECKPOINT,
     EVENT_COMPLETION,
     EVENT_DEMOTE,
+    EVENT_FAULT,
     EVENT_MIGRATION_END,
     EVENT_OUTPUT,
     EVENT_PROMOTE,
+    EVENT_RECOVERY,
     EVENT_TRANSITION_END,
     EVENT_TRANSITION_START,
     Trace,
@@ -194,6 +196,34 @@ def render_report(trace: Trace, title: str = "") -> str:
         lines.append(f"checkpoints: {len(checkpoints)}")
         for ev in checkpoints:
             lines.append(f"  at vt {ev.ts:.1f} ({ev.data.get('strategy', '?')})")
+    faults = trace.of_kind(EVENT_FAULT)
+    recoveries = trace.of_kind(EVENT_RECOVERY)
+    if faults or recoveries:
+        lines.append("")
+        lines.append(
+            f"faults & recovery: {len(faults)} fault(s) injected, "
+            f"{len(recoveries)} recovery event(s)"
+        )
+        for ev in faults:
+            where = ", ".join(
+                f"{k}={v}" for k, v in sorted(ev.data.items()) if k != "fault"
+            )
+            lines.append(f"  fault {ev.data.get('fault', '?')} at vt {ev.ts:.1f}"
+                         + (f" ({where})" if where else ""))
+        suppressed = sum(
+            1 for ev in recoveries if ev.data.get("what") == "duplicate_suppressed"
+        )
+        for ev in recoveries:
+            what = ev.data.get("what", "?")
+            if what == "duplicate_suppressed":
+                continue  # summarized below; one line each would swamp the report
+            detail = ", ".join(
+                f"{k}={v}" for k, v in sorted(ev.data.items()) if k != "what"
+            )
+            lines.append(f"  recovery {what} at vt {ev.ts:.1f}"
+                         + (f" ({detail})" if detail else ""))
+        if suppressed:
+            lines.append(f"  {suppressed} replayed duplicate(s) suppressed")
     return "\n".join(lines)
 
 

@@ -41,7 +41,8 @@ FORMAT_VERSION = 1
 PHASE_STEADY = "steady"
 PHASE_MIGRATING = "migrating"
 PHASE_COMPLETING = "completing"
-PHASES = (PHASE_STEADY, PHASE_MIGRATING, PHASE_COMPLETING)
+PHASE_RECOVERING = "recovering"
+PHASES = (PHASE_STEADY, PHASE_MIGRATING, PHASE_COMPLETING, PHASE_RECOVERING)
 
 EVENT_TRANSITION_START = "transition_start"
 EVENT_TRANSITION_END = "transition_end"
@@ -52,6 +53,8 @@ EVENT_DEMOTE = "demote"
 EVENT_CHECKPOINT = "checkpoint"
 EVENT_OUTPUT = "output"
 EVENT_NOTE = "note"
+EVENT_FAULT = "fault"
+EVENT_RECOVERY = "recovery"
 
 
 class TraceEvent:
@@ -160,6 +163,12 @@ class Tracer:
         pass
 
     def note(self, what: str, **data: Any) -> None:
+        pass
+
+    def fault(self, kind: str, **data: Any) -> None:
+        pass
+
+    def recovery(self, what: str, **data: Any) -> None:
         pass
 
 
@@ -273,6 +282,12 @@ class RecordingTracer(Tracer):
 
     def note(self, what: str, **data: Any) -> None:
         self._record(EVENT_NOTE, {"what": what, **data})
+
+    def fault(self, kind: str, **data: Any) -> None:
+        self._record(EVENT_FAULT, {"fault": kind, **data})
+
+    def recovery(self, what: str, **data: Any) -> None:
+        self._record(EVENT_RECOVERY, {"what": what, **data})
 
     # -- aggregates --------------------------------------------------------------------
 

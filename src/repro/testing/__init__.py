@@ -6,6 +6,10 @@ without any operator machinery — an oracle that shares no code with the
 engine, used by the test suite to validate the validators.
 """
 
-from repro.testing.naive import NaiveJoinOracle, NaiveSetDifferenceOracle
+from repro.testing.naive import (
+    NaiveJoinOracle,
+    NaiveSetDifferenceOracle,
+    join_oracle_lineages,
+)
 
-__all__ = ["NaiveJoinOracle", "NaiveSetDifferenceOracle"]
+__all__ = ["NaiveJoinOracle", "NaiveSetDifferenceOracle", "join_oracle_lineages"]

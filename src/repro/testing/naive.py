@@ -62,6 +62,21 @@ class NaiveJoinOracle:
         return list(self.outputs)
 
 
+def join_oracle_lineages(
+    schema: Schema, streams: Sequence[str], arrivals: Sequence[StreamTuple]
+) -> List[Lineage]:
+    """Expected join output lineages for ``arrivals``, from first principles.
+
+    Convenience entry point for harnesses (e.g. the fault-injection
+    invariant checker) that need the reference answer without holding an
+    oracle instance.
+    """
+    oracle = NaiveJoinOracle(schema, streams)
+    for tup in arrivals:
+        oracle.process(tup)
+    return oracle.output_lineages()
+
+
 class NaiveSetDifferenceOracle:
     """Brute-force windowed set-difference chain ``outer - inners...``."""
 

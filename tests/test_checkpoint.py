@@ -177,3 +177,81 @@ def test_time_window_strategy_roundtrip():
     assert continuation_outputs(st, tuples[12:]) == continuation_outputs(
         restored, tuples[12:]
     )
+
+
+# -- format v2: buffered strategies and their pending backlog (regression) ------------
+#
+# Before v2, "jisc_buffered"/"static_buffered" were not registered as
+# checkpointable at all, and a checkpoint cut between enqueue and drain
+# would have silently dropped every queued tuple.
+
+
+def _buffered_mid_backlog(cls, schema):
+    from repro.engine.queued import BufferedJISCStrategy
+
+    st = cls(schema, ORDER, auto_drain=False)
+    feed(st, make_tuples([(s, k % 3) for k in range(5) for s in ORDER]))
+    assert st.scheduler.pending() > 0
+    return st
+
+
+def test_buffered_backlog_survives_roundtrip(schema):
+    from repro.engine.queued import BufferedJISCStrategy
+
+    st = _buffered_mid_backlog(BufferedJISCStrategy, schema)
+    pending = st.scheduler.pending()
+    restored = roundtrip(st)
+    assert restored.name == "jisc_buffered"
+    assert restored.auto_drain is False
+    assert restored.scheduler.pending() == pending
+    # the backlog drains to the same outputs on both sides
+    before_orig, before_rest = len(st.outputs), len(restored.outputs)
+    st.drain()
+    restored.drain()
+    assert sorted(t.lineage for t in st.outputs[before_orig:]) == sorted(
+        t.lineage for t in restored.outputs[before_rest:]
+    )
+
+
+@pytest.mark.parametrize("name", ["jisc_buffered", "static_buffered"])
+def test_buffered_strategies_roundtrip(schema, name):
+    from repro.engine.queued import BufferedJISCStrategy, BufferedStaticExecutor
+
+    cls = {"jisc_buffered": BufferedJISCStrategy, "static_buffered": BufferedStaticExecutor}[name]
+    tuples = make_tuples([(s, k % 3) for k in range(12) for s in ORDER])
+    st = cls(schema, ORDER)
+    feed(st, tuples[:30])
+    restored = roundtrip(st)
+    assert continuation_outputs(st, tuples[30:]) == continuation_outputs(
+        restored, tuples[30:]
+    )
+
+
+def test_mid_backlog_continuation_matches_uninterrupted(schema):
+    """A checkpoint cut with work still queued loses nothing (the v2 fix)."""
+    from repro.engine.queued import BufferedJISCStrategy
+
+    tuples = make_tuples([(s, k % 3) for k in range(10) for s in ORDER])
+    st = BufferedJISCStrategy(schema, ORDER, auto_drain=False)
+    feed(st, tuples[:20])
+    restored = roundtrip(st)
+    # finish both runs identically: remaining tuples, then a final drain
+    for strategy in (st, restored):
+        feed(strategy, tuples[20:])
+        strategy.drain()
+    assert sorted(st.output_lineages()) == sorted(restored.output_lineages())
+
+
+def test_v1_checkpoint_still_restores(schema):
+    """A pre-backlog (v1) checkpoint restores with an empty queue."""
+    from repro.engine.queued import BufferedJISCStrategy
+
+    st = BufferedJISCStrategy(schema, ORDER)
+    feed(st, make_tuples([(s, k % 3) for k in range(6) for s in ORDER]))
+    data = checkpoint_strategy(st)
+    data.pop("queue")
+    data.pop("auto_drain")
+    data["version"] = 1
+    restored = restore_strategy(json.loads(json.dumps(data)))
+    assert restored.scheduler.pending() == 0
+    assert restored.auto_drain is True

@@ -1,0 +1,183 @@
+"""Queue anomalies: dedupe repairs duplicates/reorders; corruption is *detected*.
+
+Satellite of the fault-injection subsystem.  Positive direction: seeded
+duplicate and bounded-reorder injection into the buffered strategies'
+queue is invisible after the recovery manager's lineage dedupe — the
+invariant checker certifies the delivered log complete, closed and
+duplicate-free.  Negative direction: faults the subsystem does *not*
+repair (queue drops, the deliberately unsafe ``unsafe_skip_drain``
+transition) must be caught by the checker, proving the certification has
+teeth.
+"""
+
+import pytest
+
+from repro.engine.executor import run_events
+from repro.engine.queued import BufferedJISCStrategy
+from repro.faults.invariants import InvariantChecker
+from repro.faults.plan import (
+    QUEUE_DROP,
+    FaultInjector,
+    FaultPlan,
+    QueueFault,
+)
+from repro.faults.queue_faults import FaultyQueueScheduler, install_faulty_scheduler
+from repro.faults.recovery import RecoveryManager
+from repro.streams.tuples import StreamTuple
+from repro.workloads.scenarios import chain_scenario, migration_stage_events
+
+WARMUP = 14
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # key_domain below the window size makes matches (and thus queue
+    # traffic) dense enough that every anomaly touches real work
+    scenario = chain_scenario(3, 40, 4, seed=4, key_domain=2)
+    events = migration_stage_events(scenario, WARMUP)
+    return scenario, events
+
+
+@pytest.fixture(scope="module")
+def arrivals(workload):
+    _, events = workload
+    return [e for e in events if isinstance(e, StreamTuple)]
+
+
+@pytest.fixture(scope="module")
+def baseline(workload):
+    scenario, events = workload
+    plain = run_events(BufferedJISCStrategy(scenario.schema, scenario.order), events)
+    return sorted(t.lineage for t in plain.outputs)
+
+
+def managed_run(scenario, events, plan):
+    injector = FaultInjector(plan)
+    manager = RecoveryManager(
+        lambda: BufferedJISCStrategy(scenario.schema, scenario.order),
+        checkpoint_every=8,
+        injector=injector,
+        on_strategy=lambda s: install_faulty_scheduler(s, injector),
+    )
+    delivered = manager.run(events)
+    return manager, injector, delivered
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_seeded_duplicates_certified_duplicate_free(workload, arrivals, baseline, seed):
+    scenario, events = workload
+    plan = FaultPlan.from_seed(
+        seed, n_arrivals=len(arrivals), crashes=0, queue_duplicates=4
+    )
+    manager, injector, delivered = managed_run(scenario, events, plan)
+    assert injector.queue_faults_fired > 0
+    checker = InvariantChecker(scenario.schema, scenario.order)
+    checker.certify(manager._live_strategy(), arrivals, delivered)
+    assert sorted(delivered) == baseline
+
+
+@pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+def test_seeded_bounded_reorder_certified(workload, arrivals, baseline, seed):
+    scenario, events = workload
+    plan = FaultPlan.from_seed(
+        seed, n_arrivals=len(arrivals), crashes=0, queue_reorders=4
+    )
+    manager, injector, delivered = managed_run(scenario, events, plan)
+    assert injector.queue_faults_fired > 0
+    checker = InvariantChecker(scenario.schema, scenario.order)
+    checker.certify(manager._live_strategy(), arrivals, delivered)
+    assert sorted(delivered) == baseline
+
+
+@pytest.mark.parametrize("seed", [10, 11, 12])
+def test_duplicates_and_reorders_with_crashes(workload, arrivals, baseline, seed):
+    scenario, events = workload
+    plan = FaultPlan.from_seed(
+        seed,
+        n_arrivals=len(arrivals),
+        crashes=2,
+        queue_duplicates=3,
+        queue_reorders=3,
+    )
+    manager, _, delivered = managed_run(scenario, events, plan)
+    checker = InvariantChecker(scenario.schema, scenario.order)
+    checker.certify(manager._live_strategy(), arrivals, delivered)
+    assert sorted(delivered) == baseline
+
+
+def test_raw_duplicates_are_flagged_without_dedupe(workload, arrivals):
+    # Negative control: the same duplicate fault *without* the recovery
+    # manager's dedupe leaves duplicated lineages in the raw output log,
+    # and the checker flags them.
+    scenario, events = workload
+    st = BufferedJISCStrategy(scenario.schema, scenario.order)
+    injector = FaultInjector(
+        FaultPlan(queue_faults=tuple(QueueFault("duplicate", i) for i in (30, 80)))
+    )
+    install_faulty_scheduler(st, injector)
+    run_events(st, events)
+    assert injector.queue_faults_fired == 2
+    report = InvariantChecker(scenario.schema, scenario.order).check_output(
+        arrivals, st.output_lineages()
+    )
+    assert not report.ok
+    assert any("duplicate" in v for v in report.violations)
+
+
+def test_queue_drop_corruption_is_detected(workload, arrivals):
+    # Drops model real data loss: nothing repairs them, so the invariant
+    # checker must report the output incomplete.
+    scenario, events = workload
+    st = BufferedJISCStrategy(scenario.schema, scenario.order)
+    injector = FaultInjector(
+        FaultPlan(queue_faults=(QueueFault(QUEUE_DROP, 20),))
+    )
+    install_faulty_scheduler(st, injector)
+    run_events(st, events)
+    assert injector.queue_faults_fired == 1
+    report = InvariantChecker(scenario.schema, scenario.order).check_output(
+        arrivals, st.output_lineages()
+    )
+    assert not report.ok
+    assert any("incomplete" in v for v in report.violations)
+
+
+def test_unsafe_skip_drain_corruption_is_detected(workload, arrivals):
+    # Section 4.1's rule, violated on purpose: discarding the queue at a
+    # transition loses in-flight work, and the checker catches it.
+    scenario, events = workload
+    from repro.engine.executor import TransitionEvent
+
+    st = BufferedJISCStrategy(scenario.schema, scenario.order, auto_drain=False)
+    seen = []
+    corrupted = False
+    for event in events:
+        if isinstance(event, TransitionEvent):
+            st.transition(event.new_spec, unsafe_skip_drain=True)
+            corrupted = True
+        else:
+            seen.append(event)
+            st.process(event)
+    st.drain()
+    assert corrupted
+    report = InvariantChecker(scenario.schema, scenario.order).check_output(
+        seen, st.output_lineages()
+    )
+    assert not report.ok
+
+
+def test_faulty_scheduler_reorder_is_bounded():
+    # A reordered item may jump at most ``span`` positions forward.
+    from repro.engine.metrics import Metrics
+    from repro.engine.cost import VirtualClock
+    from repro.operators.scan import StreamScan
+
+    metrics = Metrics(clock=VirtualClock())
+    plan = FaultPlan(queue_faults=(QueueFault("reorder", 4, span=2),))
+    scheduler = FaultyQueueScheduler(metrics, FaultInjector(plan))
+    target = StreamScan("R", 4, metrics)
+    tuples = [StreamTuple("R", i, i) for i in range(5)]
+    for tup in tuples:
+        scheduler.enqueue_process(target, tup, None)
+    order = [item[2].seq for item in scheduler.snapshot()]
+    assert order == [0, 1, 4, 2, 3]  # seq 4 jumped exactly span=2 forward
