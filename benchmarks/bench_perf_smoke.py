@@ -1,0 +1,66 @@
+"""Perf smoke suite: wall-clock sanity checks for the accelerated hot paths.
+
+Unlike the figure benchmarks, this file measures *real seconds*, not op
+counts, and emits no ``BENCH_*.json`` (wall-clock numbers are machine-
+specific and must never become diffable baselines).  Two kinds of checks:
+
+* pytest-benchmark timings of reduced fig9-/fig7-shaped scenarios, so
+  ``--benchmark-compare`` can track absolute times on a fixed machine;
+* fast-vs-naive assertions: the same scenario timed with the accelerated
+  implementations and inside :func:`repro.perf.naive.naive_mode` must
+  show at least a 1.25x speedup.  Same-process ratios cancel machine
+  speed, so this asserts the acceleration itself, not the hardware.
+
+The full-size gate (and the op-count fidelity checks) live in
+``python -m repro.perf.regress``; this suite is the quick CI smoke.
+"""
+
+from benchmarks.common import once
+from repro.experiments.common import measure_migration_stage, measure_normal_operation
+from repro.perf.naive import naive_mode
+from repro.perf.wallclock import best_of
+
+#: Required accelerated-vs-naive wall-clock ratio (matches the regress gate).
+MIN_SPEEDUP = 1.25
+
+
+def normal_operation():
+    """Reduced fig9 shape at the domain == window density (~1.7x measured)."""
+    return measure_normal_operation(
+        n_joins=10, window=60, n_tuples=6_000, checkpoints=1, seed=9, key_domain=60
+    )
+
+
+def migration_stage():
+    """Reduced fig7 shape: best-case migration of an 8-join plan (~1.4x)."""
+    return measure_migration_stage(8, window=60, case="best", seed=7)
+
+
+def test_smoke_normal_operation_timing(benchmark):
+    once(benchmark, normal_operation)
+
+
+def test_smoke_migration_timing(benchmark):
+    once(benchmark, migration_stage)
+
+
+def test_smoke_normal_operation_beats_naive(benchmark):
+    def check():
+        fast = best_of(normal_operation, 3)
+        with naive_mode():
+            naive = best_of(normal_operation, 3)
+        return naive / fast
+
+    speedup = once(benchmark, check)
+    assert speedup >= MIN_SPEEDUP, f"normal-operation speedup {speedup:.2f}x < {MIN_SPEEDUP}x"
+
+
+def test_smoke_migration_beats_naive(benchmark):
+    def check():
+        fast = best_of(migration_stage, 3)
+        with naive_mode():
+            naive = best_of(migration_stage, 3)
+        return naive / fast
+
+    speedup = once(benchmark, check)
+    assert speedup >= MIN_SPEEDUP, f"migration speedup {speedup:.2f}x < {MIN_SPEEDUP}x"

@@ -41,9 +41,29 @@ def emit(name: str, lines: Iterable[str], data: Optional[Any] = None) -> None:
         emit_json(name, data)
 
 
+def round_floats(value: Any, ndigits: int = 6) -> Any:
+    """Recursively round floats (virtual times, latencies) for stable diffs.
+
+    Virtual-time sums carry ~1e-12 associativity noise: reordering
+    bit-identical additions (e.g. grouping counts into ``count_n``) can
+    shift the last bits without changing what was counted.  Six decimals
+    is far below any real cost-model difference and far above the noise,
+    so committed BENCH files stay byte-stable across such refactors.
+    """
+    if isinstance(value, float):
+        return round(value, ndigits)
+    if isinstance(value, dict):
+        return {k: round_floats(v, ndigits) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [round_floats(v, ndigits) for v in value]
+    return value
+
+
 def emit_json(name: str, data: Any) -> None:
-    """Write ``BENCH_<name>.json`` at the repo root (diffable across PRs)."""
-    payload = {"bench": name, "data": data}
+    """Write ``BENCH_<name>.json`` at the repo root (diffable across PRs).
+
+    Floats are rounded to six decimals (see :func:`round_floats`)."""
+    payload = {"bench": name, "data": round_floats(data)}
     path = os.path.join(REPO_ROOT, f"BENCH_{name}.json")
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True, default=str)

@@ -27,14 +27,7 @@ from repro.engine.metrics import Metrics
 from repro.obs.tracer import PHASE_COMPLETING
 from repro.operators.base import BinaryOperator, Operator
 from repro.plans.build import PhysicalPlan
-from repro.streams.tuples import AnyTuple, CompositeTuple, StreamTuple
-
-
-def _entry_max_seq(entry: AnyTuple) -> int:
-    """Birth time of a state entry: the arrival seq of its newest part."""
-    if isinstance(entry, CompositeTuple):
-        return entry.max_seq()
-    return entry.seq
+from repro.streams.tuples import AnyTuple, StreamTuple
 
 
 class JISCStateInfo:
@@ -323,7 +316,8 @@ class JISCController:
                 continue
             threshold = info.transition_seq
             has_old = any(
-                _entry_max_seq(entry) < threshold for entry in side.state.get(key)
+                entry.max_seq() < threshold
+                for entry in side.state.get_view(key)
             )
             if not has_old:
                 status.pending.discard(key)

@@ -56,40 +56,68 @@ class CACQExecutor:
         }
         self.outputs: List[Any] = []
         self.output_times: List[float] = []
+        # Per-source-stream probe order, valid until the next transition.
+        # Only populated for non-adaptive policies (FixedOrderRouting):
+        # their order depends solely on (source, routing), so recomputing
+        # it per arrival is pure overhead.
+        self._routes: Dict[str, Tuple[str, ...]] = {}
 
     # -- strategy interface ------------------------------------------------------
 
+    def _route_for(self, source: str) -> Tuple[str, ...]:
+        if self.policy.adaptive:
+            candidates = [s for s in self.routing if s != source]
+            return self.policy.order_for(source, candidates)
+        route = self._routes.get(source)
+        if route is None:
+            candidates = [s for s in self.routing if s != source]
+            route = self._routes[source] = self.policy.order_for(source, candidates)
+        return route
+
     def process(self, tup: StreamTuple) -> None:
-        tracer = self.metrics.tracer
+        metrics = self.metrics
+        tracer = metrics.tracer
         if tracer.enabled:
             tracer.arrival(tup)
         self.stems[tup.stream].insert(tup)
         # The arriving tuple enters the eddy once; each partial produced by
         # a SteM probe returns to the eddy for its next routing decision.
-        self.metrics.count(Counter.EDDY_VISIT)
-        candidates = [s for s in self.routing if s != tup.stream]
-        route = self.policy.order_for(tup.stream, candidates)
+        # Per-stage probes and visits are each counted in one count_n:
+        # same totals as one count per probe / per partial, and no clock
+        # reads happen between the grouped counts.
+        metrics.count(Counter.EDDY_VISIT)
+        adaptive = self.policy.adaptive
+        of = CompositeTuple.of
+        count_n = metrics.count_n
         partials: List = [tup]
-        for stream in route:
-            stem = self.stems[stream]
+        for stream in self._route_for(tup.stream):
+            get_view = self.stems[stream].state.get_view
             next_partials: List = []
+            append = next_partials.append
             for partial in partials:
-                for match in stem.probe(partial.key):
-                    combined = CompositeTuple.of(partial, match)
-                    self.metrics.count(Counter.EDDY_VISIT)
-                    next_partials.append(combined)
-            self.policy.observe(stream, bool(next_partials))
+                for match in get_view(partial.key):
+                    append(of(partial, match))
+            count_n(Counter.HASH_PROBE, len(partials))
+            count_n(Counter.EDDY_VISIT, len(next_partials))
+            if adaptive:
+                self.policy.observe(stream, bool(next_partials))
             partials = next_partials
             if not partials:
                 return
-        clock = self.metrics.clock
+        clock = metrics.clock
         for result in partials:
-            self.metrics.count(Counter.OUTPUT)
+            metrics.count(Counter.OUTPUT)
             self.outputs.append(result)
             when = clock.now if clock is not None else float(len(self.outputs))
             self.output_times.append(when)
             if tracer.enabled:
                 tracer.output(result, when)
+
+    def process_batch(self, tuples: "List[StreamTuple]") -> None:
+        """Process a run of arrivals back-to-back (executor batching)."""
+        process = self.process
+        for tup in tuples:
+            process(tup)
 
     def transition(self, new_spec: "SpecLike") -> None:
         """Adopt a new routing order; CACQ migrates no state."""
@@ -101,6 +129,7 @@ class CACQExecutor:
             # CACQ tracks no arrival sequence of its own; -1 marks "n/a".
             tracer.transition_start(self.name, -1, routing=list(new_routing))
         self.routing = new_routing
+        self._routes.clear()
         self.policy.on_transition(new_routing)
         if tracer.enabled:
             tracer.transition_end(self.name, -1, cost=0.0)

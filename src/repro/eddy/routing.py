@@ -22,6 +22,12 @@ from typing import Dict, List, Sequence, Tuple
 class RoutingPolicy:
     """Chooses the probe order for a tuple entering the eddy."""
 
+    #: ``False`` promises that ``order_for`` depends only on the source
+    #: stream and the current routing order (so the executor may cache its
+    #: result between transitions) and that ``observe`` is a no-op.  The
+    #: base default is ``True``: unknown policies are assumed adaptive.
+    adaptive = True
+
     def order_for(self, source_stream: str, candidates: Sequence[str]) -> Tuple[str, ...]:
         """Probe order over ``candidates`` for a tuple from ``source_stream``."""
         raise NotImplementedError
@@ -35,6 +41,8 @@ class RoutingPolicy:
 
 class FixedOrderRouting(RoutingPolicy):
     """Probe in the current plan's bottom-up join order (the paper's setup)."""
+
+    adaptive = False
 
     def __init__(self, order: Sequence[str]):
         self.order = tuple(order)

@@ -60,6 +60,10 @@ class CostModel:
     def cost_of(self, op: str) -> float:
         return self._costs.get(op, self.default)
 
+    def table(self) -> Dict[str, float]:
+        """Copy of the full cost table (hot callers cache this dict)."""
+        return dict(self._costs)
+
     def time_for(self, counts: Dict[str, int]) -> float:
         """Total virtual time for a counter snapshot."""
         return sum(self.cost_of(op) * n for op, n in counts.items())
@@ -70,16 +74,24 @@ class VirtualClock:
 
     Attach to a :class:`~repro.engine.metrics.Metrics`; every counted
     operation advances ``now`` by its cost.
+
+    ``costs``/``default`` are a cached copy of the cost model's table so the
+    per-count hot path (:meth:`~repro.engine.metrics.Metrics.count`) is one
+    dict lookup with no method dispatch.  The cost model is therefore fixed
+    at construction: build a new clock rather than mutating ``cost_model``
+    afterwards.
     """
 
-    __slots__ = ("cost_model", "now")
+    __slots__ = ("cost_model", "costs", "default", "now")
 
     def __init__(self, cost_model: Optional[CostModel] = None):
         self.cost_model = cost_model or CostModel()
+        self.costs = self.cost_model.table()
+        self.default = self.cost_model.default
         self.now = 0.0
 
     def tick(self, op: str, n: int = 1) -> None:
-        self.now += self.cost_model.cost_of(op) * n
+        self.now += self.costs.get(op, self.default) * n
 
     def reset(self) -> None:
         self.now = 0.0

@@ -64,14 +64,35 @@ def run_events(
     attach it to the strategy's metrics before the first event — every
     span, phase-attributed counter and output latency of the run is then
     captured (see :mod:`repro.obs`).
+
+    Consecutive arrivals are handed to the strategy's ``process_batch``
+    (when it has one) as one run, flushed before every transition — so a
+    batch never spans a transition and strategies may hoist per-plan
+    lookups out of their batch loops.  Strategies without ``process_batch``
+    are driven per tuple, exactly as before.
     """
     if tracer is not None:
         tracer.attach(strategy)
+    process_batch = getattr(strategy, "process_batch", None)
+    batch: List[StreamTuple] = []
     for event in events:
         if isinstance(event, TransitionEvent):
+            if batch:
+                if process_batch is not None:
+                    process_batch(batch)
+                else:
+                    for tup in batch:
+                        strategy.process(tup)
+                batch = []
             strategy.transition(event.new_spec)
         else:
-            strategy.process(event)
+            batch.append(event)
+    if batch:
+        if process_batch is not None:
+            process_batch(batch)
+        else:
+            for tup in batch:
+                strategy.process(tup)
     return strategy
 
 

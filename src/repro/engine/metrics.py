@@ -77,10 +77,24 @@ class Metrics:
         self.tracer = tracer if tracer is not None else NULL_TRACER
 
     def count(self, op: str) -> None:
-        """Record one occurrence of ``op``."""
-        self.counts[op] = self.counts.get(op, 0) + 1
-        if self.clock is not None:
-            self.clock.tick(op, 1)
+        """Record one occurrence of ``op``.
+
+        The clock advance is inlined (``tick(op, 1)`` unrolled) — this is
+        the single most-called function in the engine and the extra method
+        dispatch plus ``* 1`` is measurable.  ``x * 1 == x`` exactly in
+        IEEE-754, so the fused form is bit-identical to ticking.
+        """
+        counts = self.counts
+        try:
+            counts[op] += 1
+        except KeyError:
+            counts[op] = 1
+        clock = self.clock
+        if clock is not None:
+            try:
+                clock.now += clock.costs[op]
+            except KeyError:
+                clock.now += clock.default
         if self.tracer.enabled:
             self.tracer.on_count(op, 1)
 
@@ -88,9 +102,17 @@ class Metrics:
         """Record ``n`` occurrences of ``op`` at once."""
         if n <= 0:
             return
-        self.counts[op] = self.counts.get(op, 0) + n
-        if self.clock is not None:
-            self.clock.tick(op, n)
+        counts = self.counts
+        try:
+            counts[op] += n
+        except KeyError:
+            counts[op] = n
+        clock = self.clock
+        if clock is not None:
+            try:
+                clock.now += clock.costs[op] * n
+            except KeyError:
+                clock.now += clock.default * n
         if self.tracer.enabled:
             self.tracer.on_count(op, n)
 

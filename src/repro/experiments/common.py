@@ -82,6 +82,10 @@ def _tracer_summaries(
 
 
 def _run_tuples(strategy: Any, tuples: Sequence[StreamTuple]) -> None:
+    process_batch = getattr(strategy, "process_batch", None)
+    if process_batch is not None:
+        process_batch(tuples)
+        return
     process = strategy.process
     for tup in tuples:
         process(tup)

@@ -146,6 +146,20 @@ class MigrationStrategy:
             tracer.arrival(tup)
         self.plan.feed(tup)
 
+    def process_batch(self, tuples: Sequence[StreamTuple]) -> None:
+        """Process a run of arrivals back-to-back (executor batching).
+
+        Semantically identical to calling :meth:`process` per tuple — and
+        implemented exactly that way here, binding the (subclass's)
+        ``process`` once.  Subclasses whose per-arrival scaffolding can be
+        hoisted out of the loop override this; batches never span a
+        transition (the executor flushes first), so per-batch hoisting of
+        plan internals is safe there.
+        """
+        process = self.process
+        for tup in tuples:
+            process(tup)
+
     def transition(self, new_spec: SpecLike) -> None:
         """Switch to ``new_spec`` via the strategy's ``_do_transition``.
 
@@ -204,6 +218,21 @@ class StaticPlanExecutor(MigrationStrategy):
     """
 
     name = "static"
+
+    def process_batch(self, tuples: Sequence[StreamTuple]) -> None:
+        """Hoisted per-arrival scaffolding; same op order as :meth:`process`.
+
+        The static plan never changes, so ``feed`` is stable for any batch.
+        """
+        tracer = self.metrics.tracer
+        traced = tracer.enabled
+        feed = self.plan.feed
+        for tup in tuples:
+            if tup.seq > self._last_seq:
+                self._last_seq = tup.seq
+            if traced:
+                tracer.arrival(tup)
+            feed(tup)
 
     def _do_transition(self, new_spec: SpecLike) -> None:
         return None

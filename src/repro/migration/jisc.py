@@ -60,6 +60,26 @@ class JISCStrategy(MigrationStrategy):
         super().process(tup)
         self.controller.after_arrival(tup)
 
+    def process_batch(self, tuples: Sequence[StreamTuple]) -> None:
+        """Hoisted per-arrival scaffolding; same op order as :meth:`process`.
+
+        A batch never spans a transition, so the plan (and its ``feed``)
+        is stable for the whole run.
+        """
+        on_arrival = self.controller.on_arrival
+        after_arrival = self.controller.after_arrival
+        tracer = self.metrics.tracer
+        traced = tracer.enabled
+        feed = self.plan.feed
+        for tup in tuples:
+            on_arrival(tup)
+            if tup.seq > self._last_seq:
+                self._last_seq = tup.seq
+            if traced:
+                tracer.arrival(tup)
+            feed(tup)
+            after_arrival(tup)
+
     def _do_transition(self, new_spec: SpecLike) -> None:
         self.plan = perform_jisc_transition(
             self.plan,

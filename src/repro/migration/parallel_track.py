@@ -70,7 +70,10 @@ class ParallelTrackStrategy(MigrationStrategy):
         self.tracks: List[_Track] = [_Track(self.plan, birth_seq=-1)]
         self._outputs: List[Any] = []
         self._output_times: List[float] = []
-        self._seen: Set[Tuple] = set()
+        # Dedup memo over interned lineage ids (process-local ints): the
+        # hottest migration-phase lookup hashes a machine int, not a
+        # nested lineage tuple.
+        self._seen: Set[int] = set()
         self._since_check = 0
 
     # -- strategy interface -----------------------------------------------------
@@ -118,22 +121,47 @@ class ParallelTrackStrategy(MigrationStrategy):
     # -- internals -----------------------------------------------------------------
 
     def _collect(self) -> None:
-        """Merge fresh sink outputs from all tracks, eliminating duplicates."""
-        multi = len(self.tracks) > 1
+        """Merge fresh sink outputs from all tracks, eliminating duplicates.
+
+        Dedup checks are counted in one ``count_n`` per collect: one
+        DEDUP_CHECK per examined output, exactly as before, and nothing
+        reads the clock between the grouped counts.
+        """
+        if len(self.tracks) == 1:
+            # Steady state: a single track needs no dedup — bulk-copy the
+            # fresh tail of its sink.
+            track = self.tracks[0]
+            sink = track.plan.sink
+            n = len(sink.outputs)
+            cursor = track.cursor
+            if cursor < n:
+                self._outputs.extend(sink.outputs[cursor:n])
+                self._output_times.extend(sink.output_times[cursor:n])
+                track.cursor = n
+            return
+        checks = 0
+        seen = self._seen
+        outputs = self._outputs
+        output_times = self._output_times
         for track in self.tracks:
             sink = track.plan.sink
-            while track.cursor < len(sink.outputs):
-                out = sink.outputs[track.cursor]
-                when = sink.output_times[track.cursor]
-                track.cursor += 1
-                if multi:
-                    self.metrics.count(Counter.DEDUP_CHECK)
-                    key = out.lineage
-                    if key in self._seen:
-                        continue
-                    self._seen.add(key)
-                self._outputs.append(out)
-                self._output_times.append(when)
+            outs = sink.outputs
+            times = sink.output_times
+            n = len(outs)
+            cursor = track.cursor
+            checks += n - cursor
+            while cursor < n:
+                out = outs[cursor]
+                when = times[cursor]
+                cursor += 1
+                lid = out.lineage_id
+                if lid in seen:
+                    continue
+                seen.add(lid)
+                outputs.append(out)
+                output_times.append(when)
+            track.cursor = n
+        self.metrics.count_n(Counter.DEDUP_CHECK, checks)
 
     def _purge_old_tracks(self) -> None:
         """Discard leading tracks whose states hold only post-successor
@@ -156,17 +184,23 @@ class ParallelTrackStrategy(MigrationStrategy):
 
     def _only_new_entries(self, plan: PhysicalPlan, threshold: int) -> bool:
         verdict = True
-        for op in plan.operators():
-            for entry in op.state.entries():
-                self.metrics.count(Counter.PURGE_CHECK)
-                # An entry is "old" if any constituent predates the
-                # successor plan: such results can never be produced by the
-                # successor (the old part is absent from its windows).
-                oldest = entry.seq if isinstance(entry, StreamTuple) else entry.min_seq()
-                if oldest < threshold:
-                    verdict = False
-                    if not self.purge_scan_full:
-                        return False
+        checked = 0
+        try:
+            for op in plan.operators():
+                for entry in op.state.entries():
+                    checked += 1
+                    # An entry is "old" if any constituent predates the
+                    # successor plan: such results can never be produced by
+                    # the successor (the old part is absent from its
+                    # windows).
+                    if entry.min_seq() < threshold:
+                        verdict = False
+                        if not self.purge_scan_full:
+                            return False
+        finally:
+            # One PURGE_CHECK per examined entry, counted in bulk —
+            # including on the early-return path.
+            self.metrics.count_n(Counter.PURGE_CHECK, checked)
         return verdict
 
     # -- introspection ----------------------------------------------------------------

@@ -204,6 +204,10 @@ class RecordingTracer(Tracer):
         self.latency: Dict[str, LatencyHistogram] = {}
         self._clock: Optional["VirtualClock"] = clock
         self._arrival_vt: Dict[Tuple[str, int], float] = {}
+        # Cached bucket of the current phase for on_count (see below); not a
+        # source of truth — phase_counts is.
+        self._cur_phase: Optional[str] = None
+        self._cur_counts: Dict[str, int] = {}
 
     # -- wiring -----------------------------------------------------------------------
 
@@ -235,7 +239,15 @@ class RecordingTracer(Tracer):
     # -- counter hook ----------------------------------------------------------------
 
     def on_count(self, op: str, n: int) -> None:
-        by = self.phase_counts.setdefault(self.phase, {})
+        # Called once per counted operation — the bucket for the current
+        # phase is cached and only re-resolved when the phase actually
+        # changes.  The cache is filled lazily on the first *count* in a
+        # phase, so phases that never count anything never appear in
+        # ``phase_counts`` (the export payload depends on that).
+        by = self._cur_counts
+        if self._cur_phase != self.phase:
+            self._cur_phase = self.phase
+            by = self._cur_counts = self.phase_counts.setdefault(self.phase, {})
         by[op] = by.get(op, 0) + n
 
     # -- span / event hooks ------------------------------------------------------------

@@ -14,7 +14,7 @@ pipelines leave the hook unset; they never hold incomplete states anyway.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Any, Callable, Collection, List, Optional, Tuple
 
 from repro.engine.metrics import Counter, Metrics
 from repro.operators.base import BinaryOperator, Operator
@@ -42,13 +42,21 @@ class JoinOperator(BinaryOperator):
         # Section 5.2).
         self.probe_observer: Optional[Callable[[Operator, bool], None]] = None
 
-    def matches_in(self, state: HashState, key: Any) -> List[Entry]:
+    def matches_in(self, state: HashState, key: Any) -> Collection[Entry]:
         """All entries of ``state`` joining a tuple with join value ``key``.
 
         Subclasses define the access path (hash bucket vs. full scan) and
         count the corresponding operations; JISC's state-completion routines
         use the same access path, so completion under nested-loops joins is
         as expensive as the paper's Figure 10(b) implies.
+
+        The result may be a live zero-copy view of ``state``
+        (:meth:`~repro.operators.state.HashState.get_view`): callers may
+        re-iterate it but must not mutate *that* state for ``key`` while
+        holding it.  The join paths below only insert into their own (or an
+        ancestor's) state, never back into the probed child — completion of
+        the probed state runs *before* the probe, and duplicate inserts
+        don't touch buckets — so every use here is safe.
         """
         raise NotImplementedError
 
@@ -61,11 +69,16 @@ class JoinOperator(BinaryOperator):
         matches = self.matches_in(opposite.state, tup.key)
         if self.probe_observer is not None:
             self.probe_observer(opposite, bool(matches))
-        for match in matches:
-            result = CompositeTuple.of(tup, match)
-            if self.state.add(result):
-                self.metrics.count(Counter.HASH_INSERT)
-                self.emit(result)
+        if matches:
+            of = CompositeTuple.of
+            add = self.state.add
+            count = self.metrics.count
+            emit = self.emit
+            for match in matches:
+                result = of(tup, match)
+                if add(result):
+                    count(Counter.HASH_INSERT)
+                    emit(result)
         # Own-path completion: Section 4.4's window-slide optimization relies
         # on attempted tuples having "complete state entries at all the
         # operators" — which only holds if an arrival also completes its own
@@ -126,9 +139,9 @@ class JoinOperator(BinaryOperator):
 class SymmetricHashJoin(JoinOperator):
     """Equi-join via symmetric hashing on the shared join attribute."""
 
-    def matches_in(self, state: HashState, key: Any) -> List[Entry]:
+    def matches_in(self, state: HashState, key: Any) -> Collection[Entry]:
         self.metrics.count(Counter.HASH_PROBE)
-        return state.get(key)
+        return state.get_view(key)
 
 
 class NestedLoopsJoin(JoinOperator):
@@ -150,7 +163,7 @@ class NestedLoopsJoin(JoinOperator):
         super().__init__(left, right, metrics)
         self.predicate = predicate or (lambda a, b: a == b)
 
-    def matches_in(self, state: HashState, key: Any) -> List[Entry]:
+    def matches_in(self, state: HashState, key: Any) -> Collection[Entry]:
         out: List[Entry] = []
         n = 0
         for entry in state.entries():

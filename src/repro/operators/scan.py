@@ -57,8 +57,16 @@ class StreamScan(Operator):
         """External entry point: a new tuple arrived on this stream."""
         if tup.stream != self.stream:
             raise ValueError(f"tuple from {tup.stream!r} fed to scan of {self.stream!r}")
-        for evicted in self.window.push_all(tup):
-            self._expire(evicted)
+        window = self.window
+        if isinstance(window, SlidingWindow):
+            # Count windows evict at most one tuple per push; skip the
+            # per-push list allocation of push_all on this hot path.
+            evicted = window.push(tup)
+            if evicted is not None:
+                self._expire(evicted)
+        else:
+            for evicted in window.push_all(tup):
+                self._expire(evicted)
         self.state.add(tup)
         self.metrics.count(Counter.HASH_INSERT)
         self.emit(tup)

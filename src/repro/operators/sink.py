@@ -10,6 +10,7 @@ output tuple".
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from typing import Any, List, Optional, Tuple
 
 from repro.streams.tuples import AnyTuple
@@ -53,10 +54,16 @@ class OutputSink(Operator):
         self.retractions.append(part)
 
     def first_output_at_or_after(self, t: float) -> Optional[float]:
-        """Virtual time of the first output at or after virtual time ``t``."""
-        for when in self.output_times:
-            if when >= t:
-                return when
+        """Virtual time of the first output at or after virtual time ``t``.
+
+        ``output_times`` is non-decreasing (the virtual clock never runs
+        backwards), so this is a binary search — the latency experiment
+        calls it once per arrival, and a linear scan made that quadratic.
+        """
+        times = self.output_times
+        i = bisect_left(times, t)
+        if i < len(times):
+            return times[i]
         return None
 
     def output_lineages(self) -> List[Tuple[Part, ...]]:

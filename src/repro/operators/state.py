@@ -8,7 +8,12 @@ indexed two ways:
   window tuple must be traced through the whole pipeline, Section 2.1).
 
 Entries are identified by lineage, so the same logical result is never
-stored twice (insertion is idempotent).
+stored twice (insertion is idempotent).  Internally every index keys on
+the *interned* lineage id (:mod:`repro.perf.intern`) — a process-local
+small int — instead of the nested lineage tuple, which removes the
+dominant hashing cost from probes, inserts and removals
+(docs/PERFORMANCE.md).  Lids never leave the process: checkpoints
+serialize the lineage tuples themselves.
 
 :class:`StateStatus` carries the JISC bookkeeping of Section 4.3: whether
 the state is *complete* or *incomplete* (Definition 1) and, when incomplete,
@@ -20,12 +25,15 @@ slides can retire pending values, and because tests can then assert exactly
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Any, Collection, Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
-from repro.streams.tuples import AnyTuple, CompositeTuple, StreamTuple
+from repro.streams.tuples import AnyTuple
 
 Lineage = Tuple[Tuple[str, int], ...]
 Entry = AnyTuple
+
+#: Shared empty probe result (a miss allocates nothing).
+_NO_ENTRIES: Tuple[Entry, ...] = ()
 
 
 class StateStatus:
@@ -86,61 +94,102 @@ class HashState:
     Probe/insert/removal primitives do **not** count metrics themselves;
     operators count, so that the same structure can back cost-free oracle
     computations in tests.
+
+    Index internals (all keyed on interned lineage ids):
+
+    * ``by_key``   — key value -> {lid -> entry} (probe path);
+    * ``by_part``  — (stream, seq) -> set of lids containing that part
+      (window-expiry removal path);
+    * ``by_lineage`` — lid -> entry, in global insertion order.
     """
 
     __slots__ = ("by_key", "by_part", "by_lineage", "status", "_size")
 
     def __init__(self, complete: bool = True):
-        # key value -> {lineage -> entry}
-        self.by_key: Dict[Any, Dict[Lineage, Entry]] = {}
-        # (stream, seq) -> set of lineages of entries containing that part
-        self.by_part: Dict[Tuple[str, int], Set[Lineage]] = {}
-        # lineage -> entry, for O(1) expiry removal
-        self.by_lineage: Dict[Lineage, Entry] = {}
+        self.by_key: Dict[Any, Dict[int, Entry]] = {}
+        self.by_part: Dict[Tuple[str, int], Set[int]] = {}
+        self.by_lineage: Dict[int, Entry] = {}
         self.status = StateStatus(complete)
         self._size = 0
 
     # -- core relation operations -------------------------------------------------
 
     def add(self, entry: Entry) -> bool:
-        """Insert ``entry``; returns ``False`` if it was already present."""
-        lineage = entry.lineage
-        bucket = self.by_key.setdefault(entry.key, {})
-        if lineage in bucket:
+        """Insert ``entry``; returns ``False`` if it was already present.
+
+        A duplicate insert mutates nothing — in particular it does not
+        perturb the key bucket, which is what makes iterating
+        :meth:`get_view` across an (idempotent) completion re-run safe.
+        """
+        lid = entry.lineage_id
+        by_lineage = self.by_lineage
+        if lid in by_lineage:
             return False
-        bucket[lineage] = entry
-        self.by_lineage[lineage] = entry
-        for part in lineage:
-            self.by_part.setdefault(part, set()).add(lineage)
+        by_key = self.by_key
+        bucket = by_key.get(entry.key)
+        if bucket is None:
+            bucket = by_key[entry.key] = {}
+        bucket[lid] = entry
+        by_lineage[lid] = entry
+        by_part = self.by_part
+        for part in entry.lineage:
+            # Hits dominate (parts recur across composites); the indexed
+            # access skips a bound-method call per part.
+            try:
+                by_part[part].add(lid)
+            except KeyError:
+                by_part[part] = {lid}
         self._size += 1
         return True
 
     def get(self, key: Any) -> List[Entry]:
-        """All entries with join-attribute value ``key`` (possibly empty)."""
+        """All entries with join-attribute value ``key``, as a fresh list.
+
+        The copy is safe to hold across mutations of this state; pure
+        read-only probes should prefer :meth:`get_view`.
+        """
         bucket = self.by_key.get(key)
         if not bucket:
             return []
         return list(bucket.values())
+
+    def get_view(self, key: Any) -> Collection[Entry]:
+        """All entries for ``key`` as a zero-copy, re-iterable view.
+
+        The view reflects (and is invalidated by) mutations of *this*
+        state for ``key``: callers must not insert into or remove from
+        this state while iterating.  Inserting into a *different* state
+        (the probing operator's own state, an ancestor's) is fine — that
+        is exactly the join hot path.
+        """
+        bucket = self.by_key.get(key)
+        if not bucket:
+            return _NO_ENTRIES
+        return bucket.values()
 
     def contains_key(self, key: Any) -> bool:
         return bool(self.by_key.get(key))
 
     def remove_entry(self, entry: Entry) -> bool:
         """Remove one specific entry; returns ``False`` if absent."""
-        lineage = entry.lineage
-        bucket = self.by_key.get(entry.key)
-        if not bucket or lineage not in bucket:
+        lid = entry.lineage_id
+        by_lineage = self.by_lineage
+        if lid not in by_lineage:
             return False
-        del bucket[lineage]
+        bucket = self.by_key.get(entry.key)
+        if bucket is None or lid not in bucket:
+            return False
+        del bucket[lid]
         if not bucket:
             del self.by_key[entry.key]
-        self.by_lineage.pop(lineage, None)
-        for part in lineage:
-            owners = self.by_part.get(part)
+        del by_lineage[lid]
+        by_part = self.by_part
+        for part in entry.lineage:
+            owners = by_part.get(part)
             if owners is not None:
-                owners.discard(lineage)
+                owners.discard(lid)
                 if not owners:
-                    del self.by_part[part]
+                    del by_part[part]
         self._size -= 1
         return True
 
@@ -150,13 +199,19 @@ class HashState:
         This is the window-expiry path: when base tuple ``part`` slides out
         of its stream's window, every join result built from it must leave
         every state.
+
+        Removal order is deterministic: lids are sorted, and lid order is
+        interning order, which is itself determined by execution order —
+        so fault-injection replays stay byte-identical across processes
+        (iterating the raw set would depend on ``PYTHONHASHSEED``).
         """
         lineages = self.by_part.get(part)
         if not lineages:
             return []
         removed: List[Entry] = []
-        for lineage in list(lineages):
-            entry = self.by_lineage.get(lineage)
+        by_lineage = self.by_lineage
+        for lid in sorted(lineages):
+            entry = by_lineage.get(lid)
             if entry is not None and self.remove_entry(entry):
                 removed.append(entry)
         return removed
@@ -171,16 +226,15 @@ class HashState:
         return len(self.by_key)
 
     def entries(self) -> Iterator[Entry]:
-        """Iterate over all entries (no defined order)."""
-        for bucket in self.by_key.values():
-            yield from bucket.values()
+        """Iterate over all entries (no defined order; currently global
+        insertion order — O(1) per entry, no per-bucket indirection)."""
+        return iter(self.by_lineage.values())
 
     def __len__(self) -> int:
         return self._size
 
     def __contains__(self, entry: Entry) -> bool:
-        bucket = self.by_key.get(entry.key)
-        return bool(bucket) and entry.lineage in bucket
+        return entry.lineage_id in self.by_lineage
 
     def clear(self) -> None:
         self.by_key.clear()
@@ -194,7 +248,8 @@ class HashState:
         Returns the number of entries copied (for STATE_COPY accounting).
         """
         n = 0
-        for entry in other.entries():
-            if self.add(entry):
+        add = self.add
+        for entry in other.by_lineage.values():
+            if add(entry):
                 n += 1
         return n

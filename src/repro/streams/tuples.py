@@ -17,11 +17,25 @@ multi-way equi-join over a common join attribute (called *ID* in Section 4):
 only such queries admit arbitrary join reorderings, which is what plan
 migration exercises.  Both tuple kinds therefore expose a single ``key``
 holding the join attribute value.
+
+Hot-path notes (docs/PERFORMANCE.md): both kinds expose ``lineage_id``, the
+process-local interned form of their lineage (:mod:`repro.perf.intern`);
+state indexing and duplicate elimination hash that small int instead of the
+nested tuple.  Composites cache their lineage, lid, and min/max constituent
+sequence at first use — all are immutable once the tuple exists.
+``min_seq``/``max_seq`` are defined on both kinds so age checks need no
+``isinstance`` dispatch.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Optional, Tuple, Union
+from operator import attrgetter
+from typing import Any, Iterable, List, Optional, Tuple, Union
+
+from repro.perf.intern import INTERNER
+
+_intern = INTERNER.id_of
+_by_stream = attrgetter("stream")
 
 
 class StreamTuple:
@@ -41,18 +55,39 @@ class StreamTuple:
         Optional extra attributes; opaque to the engine.
     """
 
-    __slots__ = ("stream", "seq", "key", "payload")
+    __slots__ = ("stream", "seq", "key", "payload", "_lineage", "_lid")
 
     def __init__(self, stream: str, seq: int, key: Any, payload: Any = None):
         self.stream = stream
         self.seq = seq
         self.key = key
         self.payload = payload
+        self._lineage: Optional[Tuple[Tuple[str, int], ...]] = None
+        self._lid: Optional[int] = None
 
     @property
     def lineage(self) -> Tuple[Tuple[str, int], ...]:
-        """Lineage of a base tuple: itself."""
-        return ((self.stream, self.seq),)
+        """Lineage of a base tuple: itself (cached; built once)."""
+        lineage = self._lineage
+        if lineage is None:
+            lineage = self._lineage = ((self.stream, self.seq),)
+        return lineage
+
+    @property
+    def lineage_id(self) -> int:
+        """Interned lineage (process-local, see :mod:`repro.perf.intern`)."""
+        lid = self._lid
+        if lid is None:
+            lid = self._lid = _intern(self.lineage)
+        return lid
+
+    def min_seq(self) -> int:
+        """Oldest constituent arrival sequence (itself, for a base tuple)."""
+        return self.seq
+
+    def max_seq(self) -> int:
+        """Newest constituent arrival sequence (itself, for a base tuple)."""
+        return self.seq
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"StreamTuple({self.stream}#{self.seq}, key={self.key!r})"
@@ -74,38 +109,83 @@ class CompositeTuple:
     ``parts`` maps stream name to the constituent :class:`StreamTuple`.  All
     constituents share the same join attribute value in the common-key model,
     so the composite's ``key`` equals each part's ``key``.
+
+    **Invariant**: ``parts`` must be sorted by stream name (streams within
+    one composite are distinct, so stream order is total).  :meth:`of`
+    guarantees it by merging the already-sorted part runs of its inputs;
+    direct constructor callers (checkpoint restore) sort before
+    constructing.  ``lineage`` relies on the invariant instead of sorting
+    defensively — it is rebuilt on the hottest paths in the engine.
     """
 
-    __slots__ = ("key", "parts", "_lineage")
+    __slots__ = ("key", "parts", "_lineage", "_lid", "_min_seq", "_max_seq")
 
     def __init__(self, key: Any, parts: Tuple[StreamTuple, ...]):
         self.key = key
         self.parts = parts
         self._lineage: Optional[Tuple[Tuple[str, int], ...]] = None
+        self._lid: Optional[int] = None
+        self._min_seq: Optional[int] = None
+        self._max_seq: Optional[int] = None
 
     @classmethod
     def of(cls, *tuples: "StreamTuple | CompositeTuple") -> "CompositeTuple":
         """Combine base and/or composite tuples into one composite.
 
         All inputs must share the same join key; the result's parts are the
-        union of the inputs' constituent base tuples.
+        union of the inputs' constituent base tuples.  Inputs cover disjoint
+        stream sets (enforced by
+        :class:`~repro.operators.base.BinaryOperator`), and each input's
+        parts are already sorted by stream.  The dominant case — a join
+        probe pairing a one-part input with a sorted run — inserts by
+        tuple slicing (C-level copies after a short scan for the position);
+        everything else concatenates and re-sorts, which for the short
+        part lists of real plans beats a Python-level merge loop.
         """
-        parts: list[StreamTuple] = []
         key = tuples[0].key
+        if len(tuples) == 2:
+            a, b = tuples
+            pa = a.parts if isinstance(a, CompositeTuple) else (a,)
+            pb = b.parts if isinstance(b, CompositeTuple) else (b,)
+            if len(pa) == 1:
+                pa, pb = pb, pa
+            if len(pb) == 1:
+                t = pb[0]
+                ts = t.stream
+                i = 0
+                for p in pa:
+                    if ts < p.stream:
+                        break
+                    i += 1
+                return cls(key, pa[:i] + (t,) + pa[i:])
+            return cls(key, tuple(sorted(pa + pb, key=_by_stream)))
+        parts: List[StreamTuple] = []
         for t in tuples:
             if isinstance(t, CompositeTuple):
                 parts.extend(t.parts)
             else:
                 parts.append(t)
-        parts.sort(key=lambda p: p.stream)
+        parts.sort(key=_by_stream)
         return cls(key, tuple(parts))
 
     @property
     def lineage(self) -> Tuple[Tuple[str, int], ...]:
-        """Sorted tuple of ``(stream, seq)`` pairs identifying constituents."""
-        if self._lineage is None:
-            self._lineage = tuple(sorted((p.stream, p.seq) for p in self.parts))
-        return self._lineage
+        """Sorted tuple of ``(stream, seq)`` pairs identifying constituents.
+
+        Already sorted because ``parts`` is (see the class invariant).
+        """
+        lineage = self._lineage
+        if lineage is None:
+            lineage = self._lineage = tuple((p.stream, p.seq) for p in self.parts)
+        return lineage
+
+    @property
+    def lineage_id(self) -> int:
+        """Interned lineage (process-local, see :mod:`repro.perf.intern`)."""
+        lid = self._lid
+        if lid is None:
+            lid = self._lid = _intern(self.lineage)
+        return lid
 
     @property
     def streams(self) -> frozenset:
@@ -124,21 +204,31 @@ class CompositeTuple:
 
     def max_seq(self) -> int:
         """Largest constituent arrival sequence (the composite's birth time)."""
-        return max(p.seq for p in self.parts)
+        out = self._max_seq
+        if out is None:
+            out = self._max_seq = max(p.seq for p in self.parts)
+        return out
 
     def min_seq(self) -> int:
         """Smallest constituent arrival sequence (the oldest part's age)."""
-        return min(p.seq for p in self.parts)
+        out = self._min_seq
+        if out is None:
+            out = self._min_seq = min(p.seq for p in self.parts)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         names = ",".join(f"{p.stream}#{p.seq}" for p in self.parts)
         return f"CompositeTuple(key={self.key!r}, [{names}])"
 
     def __eq__(self, other: object) -> bool:
-        return isinstance(other, CompositeTuple) and self.lineage == other.lineage
+        # Interning is bijective, so comparing lids is comparing lineages.
+        return (
+            isinstance(other, CompositeTuple)
+            and self.lineage_id == other.lineage_id
+        )
 
     def __hash__(self) -> int:
-        return hash(self.lineage)
+        return hash(self.lineage_id)
 
 
 #: Any tuple flowing through a plan: a base tuple or a join result.

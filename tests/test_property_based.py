@@ -23,6 +23,7 @@ from repro.migration.jisc import JISCStrategy
 from repro.migration.moving_state import MovingStateStrategy
 from repro.migration.parallel_track import ParallelTrackStrategy
 from repro.operators.state import HashState
+from repro.perf.intern import INTERNER
 from repro.streams.schema import Schema
 from repro.streams.tuples import CompositeTuple, StreamTuple
 from repro.streams.window import SlidingWindow
@@ -167,7 +168,9 @@ def test_hash_state_indices_stay_consistent(ops):
     """by_key, by_part and by_lineage must agree after any operation mix.
 
     A tuple's (stream, seq) identity determines its key in the engine (seqs
-    are globally unique), so the key is derived from the seq here.
+    are globally unique), so the key is derived from the seq here.  The
+    indices key on interned lineage ids (ints); the shadow keys on lineage
+    tuples and is translated through the interner for comparison.
     """
     state = HashState()
     shadow = {}
@@ -180,16 +183,16 @@ def test_hash_state_indices_stay_consistent(ops):
             state.remove_entry(tup)
             shadow.pop(tup.lineage, None)
     assert len(state) == len(shadow)
-    assert set(state.by_lineage) == set(shadow)
+    assert set(state.by_lineage) == {INTERNER.id_of(lin) for lin in shadow}
     for key_value, bucket in state.by_key.items():
-        for lineage, entry in bucket.items():
+        for lid, entry in bucket.items():
             assert entry.key == key_value
-            assert lineage in shadow
+            assert INTERNER.lineage_of(lid) in shadow
     # every part index points at live lineages
-    for part, lineages in state.by_part.items():
-        for lineage in lineages:
-            assert lineage in state.by_lineage
-            assert part in lineage
+    for part, lids in state.by_part.items():
+        for lid in lids:
+            assert lid in state.by_lineage
+            assert part in INTERNER.lineage_of(lid)
 
 
 @settings(max_examples=100, deadline=None)

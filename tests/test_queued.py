@@ -128,6 +128,31 @@ def test_removals_bypass_the_queue_no_expiry_race():
     assert_same_output(ref, buf)
 
 
+def test_enqueue_removal_custom_source(schema):
+    """``enqueue_removal`` is unused by the operators themselves (removals
+    propagate synchronously, see the module docstring) but lets a custom
+    source schedule a retraction through the same FIFO; ``drain``
+    dispatches it to ``target.remove`` with the queued arguments."""
+    buf = BufferedStaticExecutor(schema, ORDER, auto_drain=False)
+    feed(buf, make_tuples([("R", 1), ("S", 1)]))
+    buf.drain()
+    rs_state = buf.plan.state_of("RS")
+    assert len(rs_state) == 1
+
+    ops = {frozenset(op.membership): op for op in buf.plan.operators()}
+    rs_join = ops[frozenset(("R", "S"))]
+    scan_r = ops[frozenset(("R",))]
+    before = buf.metrics.get(Counter.QUEUE_OP)
+    buf.scheduler.enqueue_removal(rs_join, ("R", 0), scan_r, fresh=False)
+    assert buf.scheduler.pending() == 1
+    assert buf.metrics.get(Counter.QUEUE_OP) == before + 1  # the enqueue
+
+    buf.drain()
+    assert buf.scheduler.pending() == 0
+    assert len(rs_state) == 0  # the joined pair containing R#0 is retracted
+    assert buf.metrics.get(Counter.QUEUE_OP) == before + 2  # + the dequeue
+
+
 def test_scheduler_discard_all(metrics):
     sched = QueueScheduler(metrics)
     sched.enqueue_process(None, None, None)
