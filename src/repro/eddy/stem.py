@@ -48,6 +48,20 @@ class SteM:
         self.metrics.count(Counter.HASH_INSERT)
         return evicted
 
+    def evict(self, tup: StreamTuple) -> bool:
+        """Coordinator-driven eviction (sharded execution, docs/SHARDING.md).
+
+        Mirrors the local-eviction path of :meth:`insert` for a specific
+        tuple: sharded workers run capacity-unbounded windows and receive
+        global-window evictions from the coordinator instead.  Returns
+        ``False`` when the tuple is not in the window.
+        """
+        if not self.window.discard(tup):
+            return False
+        self.state.remove_entry(tup)
+        self.metrics.count(Counter.STATE_REMOVE)
+        return True
+
     def probe(self, key: Any) -> List[StreamTuple]:
         """All window tuples with join value ``key``, as a fresh list."""
         self.metrics.count(Counter.HASH_PROBE)

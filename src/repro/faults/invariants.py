@@ -22,12 +22,15 @@ from __future__ import annotations
 from collections import Counter
 from dataclasses import dataclass, field
 from itertools import product
-from typing import Dict, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
 
 from repro.migration.base import MigrationStrategy
 from repro.streams.schema import Schema
 from repro.streams.tuples import StreamTuple
 from repro.testing.naive import NaiveJoinOracle
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.shard.executor import ShardedExecutor
 
 Part = Tuple[str, int]
 Lineage = Tuple[Part, ...]
@@ -182,6 +185,63 @@ class InvariantChecker:
                 implied.add(tuple(sorted((t.stream, t.seq) for t in combo)))
         return implied
 
+    # -- sharded-run invariants ------------------------------------------------------
+
+    def check_sharded(self, executor: "ShardedExecutor") -> InvariantReport:
+        """Structural sanity of a sharded run's distributed state.
+
+        Two invariants over the coordinator/worker split
+        (docs/SHARDING.md):
+
+        * **Key locality** — every tuple a worker's windows hold belongs
+          to a key whose state that worker currently owns
+          (:meth:`~repro.shard.executor.ShardedExecutor.state_owner`,
+          which accounts for pending lazy moves).
+
+        * **Window agreement** — per stream, the union of worker-held
+          tuples equals the coordinator's global window exactly: nothing
+          leaked past an eviction, nothing vanished in a move or a
+          crash/recovery.
+        """
+        report = InvariantReport()
+        global_live = executor.live_tuples()
+        union: Dict[str, "Counter[StreamTuple]"] = {
+            name: Counter() for name in global_live
+        }
+        for worker in executor.workers:
+            if worker is None:
+                report.violations.append(
+                    "crashed shard still down: recover before certifying"
+                )
+                continue
+            for name, tuples in worker.live_tuples().items():
+                union[name].update(tuples)
+                misplaced = [
+                    t for t in tuples if executor.state_owner(t.key) != worker.shard_id
+                ]
+                if misplaced:
+                    report.violations.append(
+                        f"shard {worker.shard_id} holds {len(misplaced)} "
+                        f"tuple(s) of stream {name} it does not own "
+                        f"({_preview([(t.stream, t.seq) for t in misplaced])})"
+                    )
+        for name, tuples in global_live.items():
+            expected = Counter(tuples)
+            got = union.get(name, Counter())
+            leaked = got - expected
+            if leaked:
+                report.violations.append(
+                    f"stream {name}: {sum(leaked.values())} worker-held "
+                    f"tuple(s) already evicted from the global window"
+                )
+            lost = expected - got
+            if lost:
+                report.violations.append(
+                    f"stream {name}: {sum(lost.values())} live tuple(s) "
+                    f"held by no worker"
+                )
+        return report
+
     # -- one-shot certification ------------------------------------------------------
 
     def certify(
@@ -194,5 +254,18 @@ class InvariantChecker:
         """Run all checks; raise :class:`InvariantViolation` on any failure."""
         report = self.check_output(arrivals, delivered)
         report.violations.extend(self.check_states(strategy).violations)
+        report.raise_if_violated(context)
+        return report
+
+    def certify_sharded(
+        self,
+        executor: "ShardedExecutor",
+        arrivals: Sequence[StreamTuple],
+        context: str = "",
+    ) -> InvariantReport:
+        """Certify a sharded run: merged output vs. the oracle, plus the
+        distributed-state invariants.  Raises on any failure."""
+        report = self.check_output(arrivals, executor.output_lineages())
+        report.violations.extend(self.check_sharded(executor).violations)
         report.raise_if_violated(context)
         return report

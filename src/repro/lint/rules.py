@@ -195,6 +195,9 @@ class TracerPurityRule(Rule):
         "note",
         "fault",
         "recovery",
+        "rebalance_start",
+        "rebalance_end",
+        "shard_move",
     }
     EXEMPT = {"set_phase", "attach"}
     #: Receiver names that identify a tracer object.
@@ -309,8 +312,10 @@ class StateDisciplineRule(Rule):
     name = "state-discipline"
     description = (
         "HashState mutators and StateStatus transitions only from "
-        "operators/, core/, and eddy/stem.py; everything else needs an "
-        "explicit suppression"
+        "operators/, core/, eddy/stem.py, and shard/rebalance.py; "
+        "coordinator-driven evictions (evict/window.discard) only from "
+        "operators/, eddy/, streams/, and shard/; everything else needs "
+        "an explicit suppression"
     )
 
     STATE_MUTATORS = {"add", "remove_entry", "remove_with_part", "clear", "copy_from"}
@@ -320,26 +325,51 @@ class StateDisciplineRule(Rule):
         "settle_value",
         "retire_value",
     }
+    #: Out-of-band eviction entry points (docs/SHARDING.md): ``evict`` on
+    #: scans/SteMs/workers and ``discard`` on windows remove specific
+    #: tuples outside the normal push-eviction path.  They exist solely so
+    #: the shard coordinator can drive *global*-window evictions into
+    #: per-worker state; anywhere else they silently desynchronize a
+    #: window from the states derived from it.
+    EVICTION_MUTATORS = {"evict", "discard"}
     #: Module prefixes (repro-relative) allowed to touch state directly:
     #: the operator pipeline, the JISC controller/transition machinery,
-    #: and the eddy's STEMs (per-stream operators that own their state).
+    #: the eddy's STEMs (per-stream operators that own their state), and
+    #: the shard rebalance bookkeeping (reuses StateStatus for per-key
+    #: move tracking, PAPER.md §4.3 applied to cross-shard moves).
     ALLOWED = (
         "repro/operators/",
         "repro/core/",
         "repro/eddy/stem.py",
+        "repro/shard/rebalance.py",
+    )
+    #: Module prefixes allowed to call the eviction entry points: the
+    #: structures that define them, plus the shard layer (the coordinator
+    #: and its worker adapters are the intended caller).
+    EVICTION_ALLOWED = (
+        "repro/operators/",
+        "repro/eddy/",
+        "repro/streams/",
+        "repro/shard/",
     )
 
     def applies_to(self, ctx: LintContext) -> bool:
+        return ctx.in_engine
+
+    @staticmethod
+    def _outside(ctx: LintContext, prefixes: Tuple[str, ...]) -> bool:
         mp = ctx.module_path or ""
-        return ctx.in_engine and not any(mp.startswith(p) for p in self.ALLOWED)
+        return not any(mp.startswith(p) for p in prefixes)
 
     def visit_Call(self, call: ast.Call, ctx: LintContext) -> None:
         chain = call_chain(call)
         if chain is None or len(chain) < 2:
             return
         method, receiver = chain[-1], chain[-2]
-        if method in self.STATE_MUTATORS and (
-            receiver == "state" or receiver.endswith("_state")
+        if (
+            method in self.STATE_MUTATORS
+            and (receiver == "state" or receiver.endswith("_state"))
+            and self._outside(ctx, self.ALLOWED)
         ):
             ctx.report(
                 self.rule_id,
@@ -348,13 +378,31 @@ class StateDisciplineRule(Rule):
                 f"pipeline bypasses the completion hooks that keep states "
                 f"complete/closed/duplicate-free (PAPER.md §4.3)",
             )
-        elif method in self.STATUS_TRANSITIONS and receiver == "status":
+        elif (
+            method in self.STATUS_TRANSITIONS
+            and receiver == "status"
+            and self._outside(ctx, self.ALLOWED)
+        ):
             ctx.report(
                 self.rule_id,
                 call,
                 f"StateStatus.{method}() outside the operator/controller "
                 f"pipeline can desynchronize the pending-value counter from "
                 f"the state contents (PAPER.md §4.3)",
+            )
+        elif method in self.EVICTION_MUTATORS and self._outside(
+            ctx, self.EVICTION_ALLOWED
+        ):
+            if method == "discard" and not (
+                receiver == "window" or receiver.endswith("_window")
+            ):
+                return
+            ctx.report(
+                self.rule_id,
+                call,
+                f"{method}() is a coordinator-driven eviction entry point "
+                f"(docs/SHARDING.md); calling it outside the shard layer "
+                f"desynchronizes windows from derived state",
             )
 
 

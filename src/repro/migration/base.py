@@ -190,6 +190,16 @@ class MigrationStrategy:
     def outputs(self) -> List[Any]:
         return self.plan.sink.outputs
 
+    @property
+    def output_times(self) -> List[float]:
+        """Virtual emission time of each output, aligned with ``outputs``.
+
+        The sink survives every transition (plans are rebuilt around it),
+        so both lists are append-only across the whole run — the sharded
+        merge sink (``repro.shard.merge``) relies on stable indices.
+        """
+        return self.plan.sink.output_times
+
     def output_lineages(self) -> List[Tuple[Tuple[str, int], ...]]:
         return self.plan.sink.output_lineages()
 

@@ -82,6 +82,11 @@ class ParallelTrackStrategy(MigrationStrategy):
     def outputs(self) -> List[Any]:
         return self._outputs
 
+    @property
+    def output_times(self) -> List[float]:
+        """Emission times of the deduplicated output log (see base class)."""
+        return self._output_times
+
     def output_lineages(self) -> List[Tuple]:
         return [tup.lineage for tup in self._outputs]
 

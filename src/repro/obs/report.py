@@ -34,7 +34,10 @@ from repro.obs.tracer import (
     EVENT_MIGRATION_END,
     EVENT_OUTPUT,
     EVENT_PROMOTE,
+    EVENT_REBALANCE_END,
+    EVENT_REBALANCE_START,
     EVENT_RECOVERY,
+    EVENT_SHARD_MOVE,
     EVENT_TRANSITION_END,
     EVENT_TRANSITION_START,
     Trace,
@@ -96,6 +99,49 @@ def timeline(trace: Trace) -> List[Dict[str, Any]]:
         if first_output_after is not None:
             anchor = last_output_before if last_output_before is not None else start.ts
             row["stall"] = first_output_after - anchor
+        rows.append(row)
+    return rows
+
+
+def rebalance_timeline(trace: Trace) -> List[Dict[str, Any]]:
+    """One row per shard rebalance found in ``trace``.
+
+    Keys: ``mode``, ``start`` (virtual time of the trigger), ``end``
+    (virtual time of session completion — for a lazy rebalance this is
+    when the *last* pending key settled or retired, possibly much later),
+    ``buckets`` / ``keys`` (scope announced at the trigger), ``settled``
+    / ``retired`` (how each routed key was resolved) and ``tuples``
+    (total live tuples replayed across shards).  An unfinished lazy
+    session has ``end is None``.
+    """
+    events = trace.events
+    # Positional windows, not time windows: a forced drain of a previous
+    # lazy session happens at the same virtual time as the next trigger,
+    # and event order is what attributes those moves correctly.
+    starts = [i for i, ev in enumerate(events) if ev.kind == EVENT_REBALANCE_START]
+    rows: List[Dict[str, Any]] = []
+    for n, at in enumerate(starts):
+        window_end = starts[n + 1] if n + 1 < len(starts) else len(events)
+        start = events[at]
+        row: Dict[str, Any] = {
+            "mode": start.data.get("mode", "?"),
+            "start": start.ts,
+            "end": None,
+            "buckets": start.data.get("buckets", 0),
+            "keys": start.data.get("keys", 0),
+            "settled": 0,
+            "retired": 0,
+            "tuples": 0,
+        }
+        for ev in events[at:window_end]:
+            if ev.kind == EVENT_SHARD_MOVE:
+                if ev.data.get("retired"):
+                    row["retired"] += 1
+                else:
+                    row["settled"] += 1
+                row["tuples"] += ev.data.get("tuples", 0)
+            elif ev.kind == EVENT_REBALANCE_END and row["end"] is None:
+                row["end"] = ev.ts
         rows.append(row)
     return rows
 
@@ -190,6 +236,26 @@ def render_report(trace: Trace, title: str = "") -> str:
                 f" ({row['migration_end'] - row['start']:.1f} after the trigger)"
             )
         lines.append(detail)
+    shard_rows = rebalance_timeline(trace)
+    if shard_rows:
+        lines.append("")
+        lines.append(f"shard rebalance timeline: {len(shard_rows)} rebalance(s)")
+        for i, row in enumerate(shard_rows, 1):
+            if row["end"] is None:
+                span = f"vt {row['start']:.1f} -> (in progress)"
+            else:
+                span = (
+                    f"vt {row['start']:.1f} -> {row['end']:.1f} "
+                    f"(drained after {row['end'] - row['start']:.1f})"
+                )
+            lines.append(
+                f"  #{i} {row['mode']}: {span}, "
+                f"{row['buckets']} bucket(s), {row['keys']} key(s) routed"
+            )
+            lines.append(
+                f"      {row['settled']} settled / {row['retired']} retired, "
+                f"{row['tuples']} live tuple(s) replayed"
+            )
     checkpoints = trace.of_kind(EVENT_CHECKPOINT)
     if checkpoints:
         lines.append("")

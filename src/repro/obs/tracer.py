@@ -42,7 +42,14 @@ PHASE_STEADY = "steady"
 PHASE_MIGRATING = "migrating"
 PHASE_COMPLETING = "completing"
 PHASE_RECOVERING = "recovering"
-PHASES = (PHASE_STEADY, PHASE_MIGRATING, PHASE_COMPLETING, PHASE_RECOVERING)
+PHASE_REBALANCING = "rebalancing"
+PHASES = (
+    PHASE_STEADY,
+    PHASE_MIGRATING,
+    PHASE_COMPLETING,
+    PHASE_RECOVERING,
+    PHASE_REBALANCING,
+)
 
 EVENT_TRANSITION_START = "transition_start"
 EVENT_TRANSITION_END = "transition_end"
@@ -55,6 +62,9 @@ EVENT_OUTPUT = "output"
 EVENT_NOTE = "note"
 EVENT_FAULT = "fault"
 EVENT_RECOVERY = "recovery"
+EVENT_REBALANCE_START = "rebalance_start"
+EVENT_REBALANCE_END = "rebalance_end"
+EVENT_SHARD_MOVE = "shard_move"
 
 
 class TraceEvent:
@@ -169,6 +179,15 @@ class Tracer:
         pass
 
     def recovery(self, what: str, **data: Any) -> None:
+        pass
+
+    def rebalance_start(self, mode: str, **data: Any) -> None:
+        pass
+
+    def rebalance_end(self, mode: str, **data: Any) -> None:
+        pass
+
+    def shard_move(self, key: Any, src: int, dst: int, **data: Any) -> None:
         pass
 
 
@@ -300,6 +319,15 @@ class RecordingTracer(Tracer):
 
     def recovery(self, what: str, **data: Any) -> None:
         self._record(EVENT_RECOVERY, {"what": what, **data})
+
+    def rebalance_start(self, mode: str, **data: Any) -> None:
+        self._record(EVENT_REBALANCE_START, {"mode": mode, **data})
+
+    def rebalance_end(self, mode: str, **data: Any) -> None:
+        self._record(EVENT_REBALANCE_END, {"mode": mode, **data})
+
+    def shard_move(self, key: Any, src: int, dst: int, **data: Any) -> None:
+        self._record(EVENT_SHARD_MOVE, {"key": key, "src": src, "dst": dst, **data})
 
     # -- aggregates --------------------------------------------------------------------
 

@@ -71,6 +71,21 @@ class StreamScan(Operator):
         self.metrics.count(Counter.HASH_INSERT)
         self.emit(tup)
 
+    def evict(self, tup: StreamTuple) -> bool:
+        """Coordinator-driven eviction (sharded execution, docs/SHARDING.md).
+
+        Under sharded execution a worker's window never self-evicts (it is
+        capacity-unbounded); the shard coordinator owns the *global*
+        count-window and calls this when ``tup`` slides out of it.  Runs
+        the exact same expiry cascade as a local eviction.  Returns
+        ``False`` when the tuple is not in the window — a legitimate no-op
+        (e.g. a Parallel Track plan born after the tuple arrived).
+        """
+        if not self.window.discard(tup):
+            return False
+        self._expire(tup)
+        return True
+
     def _expire(self, evicted: StreamTuple) -> None:
         """Evict ``evicted`` from this state and trace it up the pipeline."""
         self.state.remove_entry(evicted)

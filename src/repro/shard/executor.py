@@ -1,0 +1,478 @@
+"""Sharded multi-engine coordinator with JISC-lazy rebalancing.
+
+:class:`ShardedExecutor` runs N independent single-engine workers (any
+existing strategy) over a hash-partitioned key space and merges their
+output logs into one deterministic virtual-time-ordered sink.  The
+coordinator owns three things the workers must not (docs/SHARDING.md):
+
+* **Global windows.**  Count/time windows are per *stream*, not per
+  shard; the coordinator maintains the real windows and delivers each
+  eviction to the owning worker explicitly (worker windows are
+  effectively unbounded and never self-evict).
+
+* **External time.**  Arrival ``i`` exists at ``T(i) = i *
+  inter_arrival``; a worker's virtual clock is caught up to ``T`` before
+  it touches the event, so per-output latency (emission time minus the
+  completing arrival's ``T``) models a real input queue.  This is the
+  quantity the lazy-vs-eager rebalance benchmark compares.
+
+* **Rebalancing.**  ``rebalance`` flips the bucket assignment and either
+  moves every affected key immediately (*eager*, the Megaphone-like
+  baseline) or marks them pending and completes each key just in time on
+  its first post-rebalance arrival (*lazy*, the JISC discipline); a
+  pending key whose live tuples all expire is retired, mirroring
+  :meth:`repro.core.controller.JISCController._on_expiry`.
+
+Cross-shard state movement is strategy-agnostic: the key's live tuples
+are *replayed* (in arrival order) through the destination's normal
+``process`` path with outputs muted — every replay output is provably a
+duplicate of a source-shard emission — then evicted from the source
+through the normal removal cascade.
+
+Every worker-bound command is journaled per shard, so a crashed worker
+(:meth:`ShardedExecutor.crash_shard`) is rebuilt deterministically from
+its log alone; preserved merge cursors make delivery exactly-once.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Set, Tuple, Union
+
+from repro.engine.cost import CostModel, VirtualClock
+from repro.engine.executor import TransitionEvent
+from repro.engine.metrics import Metrics, work_units
+from repro.obs.tracer import PHASE_REBALANCING, PHASE_RECOVERING
+from repro.shard.merge import MergedOutput, ShardMerger
+from repro.shard.partition import HashPartitioner, stable_hash
+from repro.shard.rebalance import (
+    RebalanceSession,
+    ShardMove,
+    plan_key_routes,
+)
+from repro.shard.worker import ShardWorker, make_strategy, unbounded_schema
+from repro.streams.schema import Schema
+from repro.streams.tuples import StreamTuple
+from repro.streams.window import SlidingWindow, TimeSlidingWindow
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.migration.base import SpecLike
+
+#: One journaled worker command: (kind, payload, external time).
+LogEntry = Tuple[str, Any, float]
+
+GlobalWindow = Union[SlidingWindow, TimeSlidingWindow]
+
+
+class RebalanceEvent:
+    """A scheduled shard rebalance, interleavable with arrivals."""
+
+    __slots__ = ("assignment", "mode")
+
+    def __init__(self, assignment: Mapping[int, int], mode: Optional[str] = None):
+        self.assignment = dict(assignment)
+        self.mode = mode
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"RebalanceEvent(mode={self.mode!r}, buckets={len(self.assignment)})"
+
+
+ShardEvent = Union[StreamTuple, TransitionEvent, RebalanceEvent]
+
+
+class ShardedExecutor:
+    """Hash-partitioned execution of one strategy across N workers."""
+
+    def __init__(
+        self,
+        schema: Schema,
+        initial_spec: "SpecLike",
+        num_shards: int = 2,
+        strategy: str = "jisc",
+        rebalance_mode: str = "lazy",
+        num_buckets: int = 64,
+        cost_model: Optional[CostModel] = None,
+        inter_arrival: float = 0.0,
+        join: str = "hash",
+        metrics: Optional[Metrics] = None,
+        assignment: Optional[Mapping[int, int]] = None,
+    ):
+        if rebalance_mode not in ("lazy", "eager"):
+            raise ValueError(
+                f"rebalance_mode must be 'lazy' or 'eager', got {rebalance_mode!r}"
+            )
+        self.schema = schema
+        self.initial_spec = initial_spec
+        self.strategy_name = strategy
+        self.rebalance_mode = rebalance_mode
+        self.cost_model = cost_model
+        self.inter_arrival = float(inter_arrival)
+        self.join = join
+        self.name = f"sharded-{strategy}"
+        self.partitioner = HashPartitioner(num_shards, num_buckets, assignment)
+        # The coordinator's clock is advanced to external time by hand (it
+        # counts no operations itself), so its tracer timestamps events in
+        # external time — the axis the rebalance timeline renders.
+        self.metrics = metrics if metrics is not None else Metrics(clock=VirtualClock(cost_model))
+        self._worker_schema = unbounded_schema(schema)
+        self.workers: List[Optional[ShardWorker]] = [
+            ShardWorker(i, self._fresh_strategy()) for i in range(num_shards)
+        ]
+        self._windows: Dict[str, GlobalWindow] = {}
+        for d in schema.streams:
+            self._windows[d.name] = (
+                SlidingWindow(d.window)
+                if d.window_kind == "count"
+                else TimeSlidingWindow(d.window)
+            )
+        self._live_by_key: Dict[Any, List[StreamTuple]] = {}
+        self._session: Optional[RebalanceSession] = None
+        self.moves: List[ShardMove] = []
+        self.rebalances = 0
+        self._arrivals = 0
+        self._arrival_T: Dict[Tuple[str, int], float] = {}
+        self._logs: List[List[LogEntry]] = [[] for _ in range(num_shards)]
+        self._crashed: Set[int] = set()
+        self._merger = ShardMerger()
+
+    # -- construction helpers ----------------------------------------------------------
+
+    def _fresh_strategy(self) -> Any:
+        return make_strategy(
+            self.strategy_name,
+            self._worker_schema,
+            self.initial_spec,
+            cost_model=self.cost_model,
+            join=self.join,
+        )
+
+    @property
+    def num_shards(self) -> int:
+        return self.partitioner.num_shards
+
+    def _worker(self, shard: int) -> ShardWorker:
+        worker = self.workers[shard]
+        if worker is None:
+            raise RuntimeError(f"shard {shard} is crashed; recover it first")
+        return worker
+
+    def _check_live(self) -> None:
+        if self._crashed:
+            raise RuntimeError(
+                f"shard(s) {sorted(self._crashed)} crashed; recover before feeding"
+            )
+
+    def _now(self) -> float:
+        """Current external time; keeps the coordinator clock caught up."""
+        t = self._arrivals * self.inter_arrival
+        clock = self.metrics.clock
+        if clock is not None and clock.now < t:
+            clock.now = t
+        return t
+
+    @staticmethod
+    def _ordered(keys: Iterable[Any]) -> List[Any]:
+        """Deterministic processing order for a set of keys."""
+        return sorted(keys, key=lambda k: (stable_hash(k), repr(k)))
+
+    # -- state ownership ---------------------------------------------------------------
+
+    def state_owner(self, key: Any) -> int:
+        """The shard currently holding the key's state.
+
+        During a lazy rebalance a pending key's state is still at its
+        pre-rebalance owner even though the routing table already points
+        at the destination.
+        """
+        session = self._session
+        if session is not None and session.is_pending(key):
+            return session.route_of(key)[0]
+        return self.partitioner.shard_of(key)
+
+    @property
+    def session(self) -> Optional[RebalanceSession]:
+        return self._session
+
+    def pending_keys(self) -> Set[Any]:
+        session = self._session
+        return set(session.pending) if session is not None else set()
+
+    def live_tuples(self) -> Dict[str, List[StreamTuple]]:
+        """Snapshot of the coordinator's global windows, per stream."""
+        return {name: win.snapshot() for name, win in self._windows.items()}
+
+    # -- event processing --------------------------------------------------------------
+
+    def process(self, tup: StreamTuple) -> None:
+        """One arrival: global-window push, evictions, JIT completion, feed."""
+        self._check_live()
+        t = self._now()
+        self._arrivals += 1
+        self._arrival_T[(tup.stream, tup.seq)] = t
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.arrival(tup)
+        for old in self._windows[tup.stream].push_all(tup):
+            self._deliver_eviction(old, t)
+        key = tup.key
+        session = self._session
+        if session is not None and session.is_pending(key):
+            self._complete_key(session, key, t)
+        owner = self.partitioner.shard_of(key)
+        self._live_by_key.setdefault(key, []).append(tup)
+        worker = self._worker(owner)
+        worker.catch_up(t)
+        worker.feed(tup)
+        self._logs[owner].append(("feed", tup, t))
+
+    def process_batch(self, tuples: Iterable[StreamTuple]) -> None:
+        for tup in tuples:
+            self.process(tup)
+
+    def transition(self, new_spec: "SpecLike") -> None:
+        """Broadcast a plan transition to every worker."""
+        self._check_live()
+        t = self._now()
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.transition_start(self.name, self._arrivals)
+        for shard in range(self.num_shards):
+            worker = self._worker(shard)
+            worker.catch_up(t)
+            worker.transition(new_spec)
+            self._logs[shard].append(("transition", new_spec, t))
+        if tracer.enabled:
+            tracer.transition_end(self.name, self._arrivals)
+
+    def run(self, events: Iterable[ShardEvent]) -> "ShardedExecutor":
+        """Drive arrivals, transitions and rebalances in sequence."""
+        for event in events:
+            if isinstance(event, TransitionEvent):
+                self.transition(event.new_spec)
+            elif isinstance(event, RebalanceEvent):
+                self.rebalance(event.assignment, event.mode)
+            else:
+                self.process(event)
+        return self
+
+    # -- evictions ---------------------------------------------------------------------
+
+    def _deliver_eviction(self, old: StreamTuple, t: float) -> None:
+        key = old.key
+        owner = self.state_owner(key)
+        worker = self._worker(owner)
+        worker.catch_up(t)
+        worker.evict(old)
+        self._logs[owner].append(("evict", old, t))
+        live = self._live_by_key.get(key)
+        if live is not None:
+            try:
+                live.remove(old)
+            except ValueError:
+                pass
+            if not live:
+                del self._live_by_key[key]
+        session = self._session
+        if (
+            session is not None
+            and session.is_pending(key)
+            and key not in self._live_by_key
+        ):
+            src, dst = session.route_of(key)
+            self.moves.append(ShardMove(key, src, dst, 0, t, retired=True))
+            tracer = self.metrics.tracer
+            if tracer.enabled:
+                tracer.shard_move(key, src, dst, tuples=0, retired=True)
+            if session.retire(key):
+                self._end_session(session)
+
+    # -- rebalancing -------------------------------------------------------------------
+
+    def rebalance(
+        self, assignment: Mapping[int, int], mode: Optional[str] = None
+    ) -> RebalanceSession:
+        """Adopt a new bucket assignment; move key state per ``mode``."""
+        self._check_live()
+        if mode is None:
+            mode = self.rebalance_mode
+        t = self._now()
+        # Drain any still-pending session first: routes must not stack.
+        previous = self._session
+        if previous is not None:
+            for key in self._ordered(previous.pending):
+                self._complete_key(previous, key, t)
+        moved = self.partitioner.moves_to(assignment)
+        live_by_bucket: Dict[int, List[Any]] = {}
+        for key in self._live_by_key:
+            live_by_bucket.setdefault(self.partitioner.bucket_of(key), []).append(key)
+        routes = plan_key_routes(moved, live_by_bucket)
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.rebalance_start(mode, buckets=len(moved), keys=len(routes))
+        self.partitioner.apply(assignment)
+        self.rebalances += 1
+        session = RebalanceSession(mode, routes, started_at=t)
+        self._session = session
+        if not routes:
+            self._end_session(session)
+        elif mode == "eager":
+            for key in self._ordered(routes):
+                self._complete_key(session, key, t)
+        return session
+
+    def _complete_key(self, session: RebalanceSession, key: Any, t: float) -> None:
+        """Move one pending key's state src -> dst by muted replay."""
+        if not session.is_pending(key):
+            return
+        src, dst = session.route_of(key)
+        live = list(self._live_by_key.get(key, ()))
+        src_worker = self._worker(src)
+        dst_worker = self._worker(dst)
+        tracer = self.metrics.tracer
+        prev = tracer.set_phase(PHASE_REBALANCING) if tracer.enabled else None
+        try:
+            dst_worker.catch_up(t)
+            muted = dst_worker.replay(live)
+            self._logs[dst].append(("replay", tuple(live), t))
+            src_worker.catch_up(t)
+            for tup in live:
+                src_worker.evict(tup)
+                self._logs[src].append(("evict", tup, t))
+        finally:
+            if prev is not None:
+                tracer.set_phase(prev)
+        self.moves.append(ShardMove(key, src, dst, len(live), t))
+        if tracer.enabled:
+            tracer.shard_move(key, src, dst, tuples=len(live), muted=muted)
+        if session.settle(key):
+            self._end_session(session)
+
+    def _end_session(self, session: RebalanceSession) -> None:
+        if self._session is session:
+            self._session = None
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            settled = sum(1 for m in self.moves if not m.retired)
+            tracer.rebalance_end(
+                session.mode,
+                keys=len(session.routes),
+                settled=settled,
+                started_at=session.started_at,
+            )
+
+    # -- merged output -----------------------------------------------------------------
+
+    def _collect(self) -> None:
+        fresh = self._merger.collect(w for w in self.workers if w is not None)
+        tracer = self.metrics.tracer
+        if fresh and tracer.enabled:
+            for rec in sorted(fresh, key=lambda r: r.sort_key):
+                tracer.output(rec.tup, rec.time)
+
+    @property
+    def outputs(self) -> List[Any]:
+        """Merged results, ordered by (emission time, shard, index)."""
+        self._collect()
+        return [rec.tup for rec in self._merger.merged()]
+
+    def output_lineages(self) -> List[Tuple[Tuple[str, int], ...]]:
+        self._collect()
+        return self._merger.output_lineages()
+
+    def merged_records(self) -> List[MergedOutput]:
+        self._collect()
+        return list(self._merger.merged())
+
+    def output_latencies(self) -> List[float]:
+        """Per-output latency: emission time minus the completing arrival's
+        external time (the input-queue view the benchmark measures)."""
+        latencies: List[float] = []
+        arrival_t = self._arrival_T
+        for rec in self.merged_records():
+            born = max(
+                (arrival_t[ref] for ref in rec.lineage if ref in arrival_t),
+                default=rec.time,
+            )
+            latencies.append(max(0.0, rec.time - born))
+        return latencies
+
+    def max_output_latency(self) -> float:
+        return max(self.output_latencies(), default=0.0)
+
+    # -- merged accounting -------------------------------------------------------------
+
+    def merged_counts(self) -> Dict[str, int]:
+        """Operation counters summed across all live workers."""
+        totals: Dict[str, int] = {}
+        for worker in self.workers:
+            if worker is None:
+                continue
+            for op, n in worker.metrics.counts.items():
+                totals[op] = totals.get(op, 0) + n
+        return totals
+
+    def total_work(self) -> float:
+        """Summed virtual work across workers (parallel-ignorant cost)."""
+        return work_units(self.merged_counts(), self.cost_model)
+
+    def makespan(self) -> float:
+        """Latest worker clock — wall time of the parallel execution."""
+        times = [
+            worker.metrics.clock.now
+            for worker in self.workers
+            if worker is not None and worker.metrics.clock is not None
+        ]
+        return max(times, default=0.0)
+
+    # -- faults ------------------------------------------------------------------------
+
+    def crash_shard(self, shard: int) -> None:
+        """Lose one worker's in-memory state entirely (the log survives)."""
+        self._worker(shard)  # raises if already crashed
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            tracer.fault("shard_crash", shard=shard, log_entries=len(self._logs[shard]))
+        self.workers[shard] = None
+        self._crashed.add(shard)
+
+    def recover_shard(self, shard: int) -> None:
+        """Deterministically rebuild a crashed worker from its command log.
+
+        Feed entries regenerate the worker's full output log; the merge
+        cursor is preserved, so already-delivered outputs are not
+        re-delivered (exactly-once).  Replay entries are re-muted, evict
+        and transition entries re-applied, each at its journaled external
+        time.
+        """
+        if shard not in self._crashed:
+            raise RuntimeError(f"shard {shard} is not crashed")
+        worker = ShardWorker(shard, self._fresh_strategy())
+        tracer = self.metrics.tracer
+        prev = tracer.set_phase(PHASE_RECOVERING) if tracer.enabled else None
+        try:
+            for kind, payload, t in self._logs[shard]:
+                worker.catch_up(t)
+                if kind == "feed":
+                    worker.feed(payload)
+                elif kind == "evict":
+                    worker.evict(payload)
+                elif kind == "replay":
+                    worker.replay(payload)
+                elif kind == "transition":
+                    worker.transition(payload)
+                else:  # pragma: no cover - log entries are internal
+                    raise RuntimeError(f"unknown log entry kind {kind!r}")
+        finally:
+            if prev is not None:
+                tracer.set_phase(prev)
+        self.workers[shard] = worker
+        self._crashed.discard(shard)
+        if tracer.enabled:
+            tracer.recovery("shard_rebuilt", shard=shard, entries=len(self._logs[shard]))
+
+    def crash_and_recover(self, shard: int) -> None:
+        self.crash_shard(shard)
+        self.recover_shard(shard)
+
+    def log_length(self, shard: int) -> int:
+        """Journal size of one shard (for fault tests)."""
+        return len(self._logs[shard])

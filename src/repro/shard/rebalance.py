@@ -1,0 +1,132 @@
+"""Rebalance bookkeeping: JISC-style lazy completion of cross-shard moves.
+
+A rebalance reassigns buckets; the *keys* live in the buckets, and each
+affected key's state must move from its old owner to its new one.  Two
+modes (docs/SHARDING.md):
+
+* **eager** — the Megaphone-like / Moving-State-like baseline: every
+  affected key moves at rebalance time, all at once.  One big stall,
+  exactly the latency signature of Figure 10's eager migration.
+
+* **lazy** — the JISC discipline applied to shard state: the assignment
+  flips immediately, but a key's state moves **just in time**, on the
+  key's first post-rebalance arrival.  Until then the key is *pending*
+  and its state (and evictions) stay at the source shard.  A pending key
+  whose last live tuple expires is *retired* — nothing is left to move,
+  mirroring :meth:`repro.core.controller.JISCController._on_expiry`.
+
+The per-key ledger reuses :class:`~repro.operators.state.StateStatus`
+verbatim: ``pending`` is the set of keys not yet moved, ``settle_value``
+records a completed move, ``retire_value`` an expired one, and the
+session is *complete* when the set drains — the same counter semantics
+the paper defines for operator states (Section 4.3), applied to the
+coordinator's view of shard state.  This module is the sanctioned caller
+(see JISC004 in :mod:`repro.lint.rules`).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Set, Tuple
+
+from repro.operators.state import StateStatus
+
+#: One planned key move: key -> (source shard, destination shard).
+KeyRoute = Tuple[int, int]
+
+
+class ShardMove:
+    """Record of one completed (or retired) key move."""
+
+    __slots__ = ("key", "src", "dst", "tuples_replayed", "at", "retired")
+
+    def __init__(
+        self,
+        key: Any,
+        src: int,
+        dst: int,
+        tuples_replayed: int,
+        at: float,
+        retired: bool = False,
+    ):
+        self.key = key
+        self.src = src
+        self.dst = dst
+        self.tuples_replayed = tuples_replayed
+        self.at = at
+        self.retired = retired
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        verb = "retired" if self.retired else "moved"
+        return (
+            f"ShardMove({self.key!r} {verb} {self.src}->{self.dst}, "
+            f"{self.tuples_replayed} tuple(s) @ {self.at:.1f})"
+        )
+
+
+class RebalanceSession:
+    """The live-key ledger of one rebalance, from trigger to completion."""
+
+    __slots__ = ("mode", "routes", "status", "started_at")
+
+    def __init__(self, mode: str, routes: Dict[Any, KeyRoute], started_at: float):
+        if mode not in ("lazy", "eager"):
+            raise ValueError(f"rebalance mode must be 'lazy' or 'eager', got {mode!r}")
+        self.mode = mode
+        self.routes = dict(routes)
+        self.started_at = started_at
+        self.status = StateStatus(complete=True)
+        if routes:
+            self.status.mark_incomplete(routes)
+
+    # -- queries -----------------------------------------------------------------------
+
+    @property
+    def pending(self) -> Set[Any]:
+        """Keys whose state still resides at their pre-rebalance owner."""
+        return self.status.pending if self.status.pending is not None else set()
+
+    @property
+    def complete(self) -> bool:
+        return self.status.complete
+
+    def is_pending(self, key: Any) -> bool:
+        pending = self.status.pending
+        return pending is not None and key in pending
+
+    def route_of(self, key: Any) -> KeyRoute:
+        return self.routes[key]
+
+    # -- transitions -------------------------------------------------------------------
+
+    def settle(self, key: Any) -> bool:
+        """The key's state reached its destination; ``True`` if that was
+        the last pending key (the session just completed)."""
+        done = self.status.settle_value(key)
+        if done:
+            self.status.mark_complete()
+        return done
+
+    def retire(self, key: Any) -> bool:
+        """The key's last live tuple expired before its first
+        post-rebalance arrival — nothing remains to move.  Same return
+        convention as :meth:`settle`."""
+        done = self.status.retire_value(key)
+        if done:
+            self.status.mark_complete()
+        return done
+
+
+def plan_key_routes(
+    moved_buckets: List[Tuple[int, int, int]],
+    live_keys_by_bucket: Dict[int, List[Any]],
+) -> Dict[Any, KeyRoute]:
+    """Key -> (src, dst) routes for every *live* key in a moved bucket.
+
+    Keys with no live tuples need no route: their state is empty on both
+    sides, and the flipped assignment alone is correct for them.
+    """
+    routes: Dict[Any, KeyRoute] = {}
+    for bucket, src, dst in moved_buckets:
+        for key in live_keys_by_bucket.get(bucket, ()):
+            routes[key] = (src, dst)
+    return routes

@@ -1,0 +1,226 @@
+"""Per-shard worker: one unmodified single-engine strategy behind a
+uniform feed / evict / replay / transition surface.
+
+A worker *is* a single engine: it runs any existing strategy (JISC,
+Moving State, Parallel Track, STAIRs, CACQ) over the sub-stream of keys
+it owns, with its own metrics and virtual clock.  The strategy never
+learns it is sharded — two deviations from a standalone run are imposed
+from outside (docs/SHARDING.md):
+
+* **Windows never self-evict.**  Workers are built against an
+  effectively unbounded schema (:func:`unbounded_schema`); count/time
+  windows are global per stream, so the coordinator owns them and
+  delivers each eviction explicitly through :meth:`ShardWorker.evict`
+  (the ``evict``/``discard`` entry points on scans, SteMs and windows).
+
+* **Replayed tuples are muted.**  Cross-shard key moves re-feed a key's
+  live tuples through the destination worker's normal ``process`` path;
+  every output that replay produces is a duplicate of something the
+  source worker already emitted (the coordinated windows guarantee it),
+  so :meth:`ShardWorker.replay` truncates them from the output log.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cost import CostModel
+from repro.obs.tracer import PHASE_REBALANCING
+from repro.streams.schema import Schema, StreamDescriptor
+from repro.streams.tuples import StreamTuple
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    from repro.engine.executor import StrategyExecutor
+    from repro.migration.base import SpecLike
+
+#: Window extent that no realistic workload ever fills or ages out:
+#: worker windows must only evict when the coordinator says so.
+UNBOUNDED_WINDOW = 1 << 40
+
+#: Strategy names accepted by :func:`make_strategy`.
+STRATEGY_NAMES = (
+    "static",
+    "jisc",
+    "moving_state",
+    "parallel_track",
+    "stairs",
+    "cacq",
+)
+
+
+def unbounded_schema(schema: Schema) -> Schema:
+    """The worker-side schema: same streams and kinds, unbounded extents."""
+    return Schema(
+        tuple(
+            StreamDescriptor(d.name, UNBOUNDED_WINDOW, d.window_kind)
+            for d in schema.streams
+        ),
+        schema.key,
+    )
+
+
+def make_strategy(
+    name: str,
+    schema: Schema,
+    initial_spec: "SpecLike",
+    cost_model: Optional[CostModel] = None,
+    join: str = "hash",
+) -> "StrategyExecutor":
+    """Construct a fresh single-engine strategy by name."""
+    if name == "static":
+        from repro.migration.base import StaticPlanExecutor
+
+        return StaticPlanExecutor(schema, initial_spec, join=join, cost_model=cost_model)
+    if name == "jisc":
+        from repro.migration.jisc import JISCStrategy
+
+        return JISCStrategy(schema, initial_spec, join=join, cost_model=cost_model)
+    if name == "moving_state":
+        from repro.migration.moving_state import MovingStateStrategy
+
+        return MovingStateStrategy(
+            schema, initial_spec, join=join, cost_model=cost_model
+        )
+    if name == "parallel_track":
+        from repro.migration.parallel_track import ParallelTrackStrategy
+
+        return ParallelTrackStrategy(
+            schema, initial_spec, join=join, cost_model=cost_model
+        )
+    if name == "stairs":
+        from repro.eddy.stairs import STAIRSExecutor
+
+        return STAIRSExecutor(schema, initial_spec, join=join, cost_model=cost_model)
+    if name == "cacq":
+        from repro.eddy.cacq import CACQExecutor
+
+        return CACQExecutor(schema, initial_spec, cost_model=cost_model)
+    raise ValueError(
+        f"unknown strategy {name!r} (expected one of {', '.join(STRATEGY_NAMES)})"
+    )
+
+
+class ShardWorker:
+    """One shard's engine plus the coordinator-facing adapters."""
+
+    __slots__ = ("shard_id", "strategy")
+
+    def __init__(self, shard_id: int, strategy: "StrategyExecutor"):
+        self.shard_id = shard_id
+        self.strategy = strategy
+
+    # -- uniform strategy access -------------------------------------------------------
+
+    @property
+    def metrics(self) -> Any:
+        return self.strategy.metrics  # type: ignore[attr-defined]
+
+    @property
+    def outputs(self) -> List[Any]:
+        return self.strategy.outputs
+
+    @property
+    def output_times(self) -> List[float]:
+        return self.strategy.output_times  # type: ignore[attr-defined]
+
+    def output_lineages(self) -> List[Tuple[Tuple[str, int], ...]]:
+        return self.strategy.output_lineages()  # type: ignore[attr-defined]
+
+    def catch_up(self, t: float) -> None:
+        """Advance the worker's virtual clock to external time ``t``.
+
+        External arrival times model the input queue: work for an event
+        cannot start before the event exists.  A worker that finished its
+        previous work early idles (clock jumps forward); one that is
+        behind keeps its later clock — exactly the queueing behaviour the
+        rebalance latency benchmark measures.
+        """
+        clock = self.metrics.clock
+        if clock is not None and clock.now < t:
+            clock.now = t
+
+    # -- coordinator-driven operations -------------------------------------------------
+
+    def feed(self, tup: StreamTuple) -> None:
+        """Process one owned arrival through the strategy's normal path."""
+        self.strategy.process(tup)
+
+    def evict(self, tup: StreamTuple) -> bool:
+        """Deliver a global-window eviction for an owned tuple.
+
+        Dispatches on the strategy's shape: CACQ keeps per-stream SteMs,
+        Parallel Track keeps one plan per live track, everything else one
+        current plan.  Returns ``True`` if any structure held the tuple
+        (a Parallel Track plan born after the tuple arrived legitimately
+        does not).
+        """
+        strategy = self.strategy
+        stems = getattr(strategy, "stems", None)
+        if stems is not None:
+            return bool(stems[tup.stream].evict(tup))
+        tracks = getattr(strategy, "tracks", None)
+        if tracks is not None:
+            hit = False
+            for track in tracks:
+                if track.plan.scans[tup.stream].evict(tup):
+                    hit = True
+            return hit
+        return bool(strategy.plan.scans[tup.stream].evict(tup))  # type: ignore[attr-defined]
+
+    def transition(self, new_spec: "SpecLike") -> None:
+        """Apply a plan transition (broadcast by the coordinator)."""
+        self.strategy.transition(new_spec)  # type: ignore[arg-type]
+
+    def live_tuples(self) -> Dict[str, List[StreamTuple]]:
+        """Per-stream window contents this worker currently holds.
+
+        Same shape dispatch as :meth:`evict`.  Parallel Track splits the
+        live set across tracks (a new track starts empty and fills with
+        post-transition arrivals only), so its answer is the
+        deduplicated union over every live track.
+        """
+        strategy = self.strategy
+        stems = getattr(strategy, "stems", None)
+        if stems is not None:
+            return {name: stem.window.snapshot() for name, stem in stems.items()}
+        tracks = getattr(strategy, "tracks", None)
+        if tracks is not None:
+            merged: Dict[str, List[StreamTuple]] = {}
+            for track in tracks:
+                for name, scan in track.plan.scans.items():
+                    seen = merged.setdefault(name, [])
+                    for tup in scan.window:
+                        if tup not in seen:
+                            seen.append(tup)
+            return merged
+        plan = strategy.plan  # type: ignore[attr-defined]
+        return {name: scan.window.snapshot() for name, scan in plan.scans.items()}
+
+    def replay(self, tuples: Sequence[StreamTuple]) -> int:
+        """Re-feed moved-in tuples with their outputs muted.
+
+        The tuples are a key's live set in arrival order; processing them
+        through the normal path rebuilds exactly the state the strategy
+        would hold had it owned the key all along (windows are unbounded,
+        so no eviction interleaves).  Every output produced here is a
+        duplicate of a source-shard emission, so the log is truncated
+        back; returns how many outputs were muted.  Runs in the
+        ``rebalancing`` phase when this worker is traced.
+        """
+        strategy = self.strategy
+        outs = strategy.outputs
+        times = self.output_times
+        mark = len(outs)
+        tracer = self.metrics.tracer
+        prev = tracer.set_phase(PHASE_REBALANCING) if tracer.enabled else None
+        try:
+            for tup in tuples:
+                strategy.process(tup)
+        finally:
+            if prev is not None:
+                tracer.set_phase(prev)
+        muted = len(outs) - mark
+        if muted:
+            del outs[mark:]
+            del times[mark:]
+        return muted

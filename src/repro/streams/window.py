@@ -72,6 +72,20 @@ class SlidingWindow:
         evicted = self.push(tup)
         return [] if evicted is None else [evicted]
 
+    def discard(self, tup: StreamTuple) -> bool:
+        """Remove ``tup`` from anywhere in the window; ``False`` if absent.
+
+        Sharded execution (docs/SHARDING.md) drives evictions from the
+        coordinator's *global* window rather than the per-worker count:
+        the evicted tuple is not necessarily this window's oldest (worker
+        windows are capacity-unbounded), so removal is by identity.
+        """
+        try:
+            self._tuples.remove(tup)
+        except ValueError:
+            return False
+        return True
+
 
 class TimeSlidingWindow:
     """A time-based sliding window over one stream.
@@ -122,3 +136,15 @@ class TimeSlidingWindow:
 
     def clear(self) -> None:
         self._tuples.clear()
+
+    def discard(self, tup: StreamTuple) -> bool:
+        """Remove ``tup`` from anywhere in the window; ``False`` if absent.
+
+        Same coordinator-driven-eviction contract as
+        :meth:`SlidingWindow.discard`.
+        """
+        try:
+            self._tuples.remove(tup)
+        except ValueError:
+            return False
+        return True

@@ -304,6 +304,73 @@ class TestStateDiscipline:
         )
         assert not ids(findings, "JISC004")
 
+    def test_shard_rebalance_module_allowed(self):
+        findings = run(
+            """
+            def f(status, routes):
+                status.mark_incomplete(routes)
+                status.settle_value(next(iter(routes)))
+            """,
+            path="src/repro/shard/rebalance.py",
+        )
+        assert not ids(findings, "JISC004")
+
+    def test_eviction_outside_allowlist_flagged(self):
+        findings = run(
+            """
+            def f(scan, tup):
+                scan.evict(tup)
+            """,
+            path="src/repro/migration/example.py",
+        )
+        assert ids(findings, "JISC004")
+
+    def test_window_discard_outside_allowlist_flagged(self):
+        findings = run(
+            """
+            def f(window, tup):
+                window.discard(tup)
+            """,
+            path="src/repro/engine/example.py",
+        )
+        assert ids(findings, "JISC004")
+
+    def test_shard_package_may_evict(self):
+        findings = run(
+            """
+            def f(scan, window, tup):
+                scan.evict(tup)
+                window.discard(tup)
+            """,
+            path="src/repro/shard/executor.py",
+        )
+        assert not ids(findings, "JISC004")
+
+    def test_operators_and_streams_may_evict(self):
+        for path in (
+            "src/repro/operators/scan.py",
+            "src/repro/streams/window.py",
+            "src/repro/eddy/stem.py",
+        ):
+            findings = run(
+                """
+                def f(window, tup):
+                    window.discard(tup)
+                """,
+                path=path,
+            )
+            assert not ids(findings, "JISC004"), path
+
+    def test_set_discard_is_not_an_eviction(self):
+        findings = run(
+            """
+            def f(pending, key):
+                pending.discard(key)
+            """,
+            path="src/repro/migration/example.py",
+        )
+        assert not ids(findings, "JISC004")
+
 
 # ---------------------------------------------------------------------------
 # JISC005 — queue discipline
