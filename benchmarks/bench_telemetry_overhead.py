@@ -1,0 +1,51 @@
+"""Telemetry identity + overhead: a live hub must observe, not perturb.
+
+Runs the two telemetry gate shapes (fig9-style normal operation, fig7-
+style best-case migration — :mod:`repro.perf.telemetry_gate`) with a
+plain engine and a telemetry-attached twin over the same tuples, chunk-
+interleaved, and reports per workload: op counts, outputs, identity
+verdicts, registry series count, and the measured wall-clock overhead.
+
+The committed ``BENCH_telemetry_overhead.json`` holds only the
+*deterministic* slice (counts, outputs, verdicts, series) — wall-clock
+numbers vary by machine and belong to the regress gate
+(``python -m repro.perf.regress``), which re-measures them with a 5%
+budget.  The identity verdicts are asserted here too: a hub that changes
+a single op counter fails the benchmark itself, not just the gate.
+"""
+
+from benchmarks.common import emit, once
+from repro.perf.telemetry_gate import WORKLOADS, run_workload
+
+
+def run():
+    return {name: run_workload(name) for name in WORKLOADS}
+
+
+def test_telemetry_overhead(benchmark):
+    results = once(benchmark, run)
+    lines = [
+        f"{'workload':<24} {'arrivals':>8} {'outputs':>8} {'series':>7} "
+        f"{'ops==':>6} {'out==':>6} {'overhead':>9}"
+    ]
+    payload = {"max_overhead": 0.05, "workloads": {}}
+    for name, res in results.items():
+        lines.append(
+            f"{name:<24} {res['arrivals']:>8d} {res['outputs']:>8d} "
+            f"{res['series']:>7d} {str(res['ops_identical']):>6} "
+            f"{str(res['outputs_identical']):>6} {res['overhead']:>+9.2%}"
+        )
+        payload["workloads"][name] = {
+            "arrivals": res["arrivals"],
+            "ops": res["ops"],
+            "outputs": res["outputs"],
+            "ops_identical": res["ops_identical"],
+            "outputs_identical": res["outputs_identical"],
+            "series": res["series"],
+        }
+    emit("telemetry_overhead", lines, data=payload)
+
+    for name, res in results.items():
+        assert res["ops_identical"], f"{name}: telemetry changed op counts"
+        assert res["outputs_identical"], f"{name}: telemetry changed outputs"
+        assert res["series"] > 0, f"{name}: hub registered no series"

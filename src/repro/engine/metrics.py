@@ -95,7 +95,7 @@ class Metrics:
                 clock.now += clock.costs[op]
             except KeyError:
                 clock.now += clock.default
-        if self.tracer.enabled:
+        if self.tracer.wants_counts:
             self.tracer.on_count(op, 1)
 
     def count_n(self, op: str, n: int) -> None:
@@ -113,7 +113,7 @@ class Metrics:
                 clock.now += clock.costs[op] * n
             except KeyError:
                 clock.now += clock.default * n
-        if self.tracer.enabled:
+        if self.tracer.wants_counts:
             self.tracer.on_count(op, n)
 
     def get(self, op: str) -> int:

@@ -7,15 +7,25 @@ how an operator of the system answers "is state growing?", "did the
 migration stall output?", or "which join holds the most memory?" without
 touching engine internals.
 
+The history is not a private buffer: it lives in a
+:class:`~repro.telemetry.registry.Windowed` instrument inside a
+:class:`~repro.telemetry.registry.MetricsRegistry` (pass one to share it
+with a :class:`~repro.telemetry.hub.TelemetryTracer`; a fresh registry is
+created otherwise).  Summary gauges — peak entries, incomplete states,
+outputs, live plans — are registered once at construction and updated on
+every :meth:`QueryMonitor.sample`, so exposition and the dashboard see
+exactly what the monitor's own analysis methods see.
+
 Works with any pipelined strategy (anything exposing ``plan``); the
 Parallel Track strategy is sampled across all live tracks.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Deque, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, Iterator, List, Optional
+
+from repro.telemetry.registry import MetricsRegistry, Windowed
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
     from repro.plans.build import PhysicalPlan
@@ -38,20 +48,73 @@ class Snapshot:
         return sum(self.state_sizes.values()) + sum(self.window_fill.values())
 
 
-class QueryMonitor:
-    """Samples a strategy's state into a bounded history."""
+class _HistoryView:
+    """Sequence view over the snapshots held by a ``Windowed`` instrument.
 
-    def __init__(self, strategy: Any, max_history: int = 10_000):
+    Preserves the classic ``monitor.history`` surface — ``len``,
+    iteration oldest-to-newest, and indexing (``history[-1]`` is the
+    latest snapshot) — while the storage itself lives in the telemetry
+    registry.
+    """
+
+    __slots__ = ("_windowed",)
+
+    def __init__(self, windowed: Windowed):
+        self._windowed = windowed
+
+    def __len__(self) -> int:
+        return len(self._windowed)
+
+    def __iter__(self) -> Iterator[Snapshot]:
+        for _, snap in self._windowed.samples:
+            yield snap
+
+    def __getitem__(self, index: int) -> Snapshot:
+        snap: Snapshot = self._windowed.samples[index][1]
+        return snap
+
+    def __bool__(self) -> bool:
+        return len(self._windowed) > 0
+
+
+class QueryMonitor:
+    """Samples a strategy's state into a registry-backed bounded history."""
+
+    def __init__(
+        self,
+        strategy: Any,
+        max_history: int = 10_000,
+        registry: Optional[MetricsRegistry] = None,
+        name: str = "engine",
+    ):
         if max_history <= 0:
             raise ValueError("max_history must be positive")
         self.strategy = strategy
         self.max_history = max_history
-        # Bounded ring: appending to a full deque evicts the oldest
-        # snapshot in O(1); ``dropped`` counts evictions so the derived
-        # measures can report that their window was truncated.
-        self.history: Deque[Snapshot] = deque(maxlen=max_history)
-        self.dropped = 0
+        self.registry = registry if registry is not None else MetricsRegistry()
+        # Bounded ring inside the registry: appending to a full window
+        # evicts the oldest snapshot in O(1) and counts the eviction, so
+        # the derived measures can report that their window was truncated.
+        self._window = self.registry.windowed(
+            "monitor_history", capacity=max_history, strategy=name
+        )
+        self.history = _HistoryView(self._window)
+        labels = {"strategy": name}
+        self._samples_total = self.registry.counter("monitor_samples_total", **labels)
+        self._peak_gauge = self.registry.gauge("monitor_peak_entries", **labels)
+        self._entries_gauge = self.registry.gauge("monitor_total_entries", **labels)
+        self._incomplete_gauge = self.registry.gauge(
+            "monitor_incomplete_states", **labels
+        )
+        self._outputs_gauge = self.registry.gauge("monitor_outputs", **labels)
+        self._plans_gauge = self.registry.gauge("monitor_live_plans", **labels)
         self._tuples_seen = 0
+        self._peak = 0
+
+    @property
+    def dropped(self) -> int:
+        """Snapshots evicted from the bounded history ring."""
+        return self._window.dropped
 
     # -- sampling -------------------------------------------------------------------
 
@@ -86,9 +149,15 @@ class QueryMonitor:
             incomplete_states=incomplete,
             live_plans=len(plans),
         )
-        if len(self.history) == self.max_history:
-            self.dropped += 1
-        self.history.append(snap)
+        self._window.push(snap.virtual_time, snap)
+        self._samples_total.inc()
+        if snap.total_entries > self._peak:
+            self._peak = snap.total_entries
+        self._peak_gauge.set(self._peak)
+        self._entries_gauge.set(snap.total_entries)
+        self._incomplete_gauge.set(snap.incomplete_states)
+        self._outputs_gauge.set(snap.outputs)
+        self._plans_gauge.set(snap.live_plans)
         return snap
 
     def _plans(self) -> List["PhysicalPlan"]:
@@ -99,7 +168,7 @@ class QueryMonitor:
     # -- analysis -------------------------------------------------------------------
 
     def peak_entries(self) -> int:
-        """Largest total state footprint seen so far."""
+        """Largest total state footprint seen so far (retained window)."""
         return max((s.total_entries for s in self.history), default=0)
 
     def largest_state(self) -> Optional[str]:

@@ -8,6 +8,17 @@ contradict the current join order — the optimize-at-runtime loop of
 Sections 1 and 5.2 (the *trigger* policy the paper treats as orthogonal,
 provided here so the system is usable end to end).
 
+The probe statistics live in the telemetry layer, not in private
+counters: each stream gets a
+:class:`~repro.telemetry.estimators.SelectivityDriftDetector` (windowed
+selectivity, EWMA baseline, Page–Hinkley drift flag) and labeled series
+in a :class:`~repro.telemetry.registry.MetricsRegistry` — pass
+``registry=`` to share one with a
+:class:`~repro.telemetry.hub.TelemetryTracer` and the query's live
+selectivities show up in the same exposition/dashboard as everything
+else.  Probe taps *chain*: wiring a query never clobbers an observer the
+telemetry hub (or anyone else) installed first, and vice versa.
+
 Example::
 
     query = ContinuousQuery(Schema.uniform(["R", "S", "T"], 500),
@@ -20,7 +31,8 @@ Example::
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+import weakref
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cost import CostModel
 from repro.engine.metrics import Metrics
@@ -33,12 +45,68 @@ from repro.operators.scan import StreamScan
 from repro.plans.optimizer import SelectivityOptimizer
 from repro.streams.schema import Schema
 from repro.streams.tuples import StreamTuple
+from repro.telemetry.estimators import SelectivityDriftDetector
+from repro.telemetry.registry import Counter, Gauge, MetricsRegistry
 
 STRATEGIES = {
     "jisc": JISCStrategy,
     "moving_state": MovingStateStrategy,
     "parallel_track": ParallelTrackStrategy,
 }
+
+
+class _StreamStats:
+    """Per-stream probe statistics backed by telemetry instruments.
+
+    ``base_probes``/``base_matches`` mark the optimizer's consumption
+    cursor: :meth:`ContinuousQuery._consult_optimizer` feeds only the
+    delta accumulated since the last consultation, matching the classic
+    reset-on-consult semantics without ever resetting the live series.
+    """
+
+    __slots__ = (
+        "detector",
+        "probes_total",
+        "matches_total",
+        "selectivity_gauge",
+        "drift_gauge",
+        "base_probes",
+        "base_matches",
+    )
+
+    def __init__(
+        self,
+        detector: SelectivityDriftDetector,
+        probes_total: Counter,
+        matches_total: Counter,
+        selectivity_gauge: Gauge,
+        drift_gauge: Gauge,
+    ):
+        self.detector = detector
+        self.probes_total = probes_total
+        self.matches_total = matches_total
+        self.selectivity_gauge = selectivity_gauge
+        self.drift_gauge = drift_gauge
+        self.base_probes = 0
+        self.base_matches = 0
+
+    def observe(self, matched: bool) -> None:
+        self.detector.observe(matched)
+        self.probes_total.inc()
+        if matched:
+            self.matches_total.inc()
+
+    def since_consult(self) -> Tuple[int, int]:
+        detector = self.detector
+        return (
+            detector.total - self.base_probes,
+            detector.total_hits - self.base_matches,
+        )
+
+    def mark_consulted(self) -> None:
+        detector = self.detector
+        self.base_probes = detector.total
+        self.base_matches = detector.total_hits
 
 
 class ContinuousQuery:
@@ -60,6 +128,11 @@ class ContinuousQuery:
         disable re-optimization entirely.
     reoptimize_every:
         How many arrivals between optimizer consultations.
+    registry:
+        Telemetry registry to publish probe statistics into (a private
+        one is created if omitted).
+    selectivity_window:
+        Sliding window of the per-stream selectivity estimators.
     """
 
     def __init__(
@@ -72,6 +145,8 @@ class ContinuousQuery:
         reoptimize_every: int = 1_000,
         adaptive: bool = True,
         cost_model: Optional[CostModel] = None,
+        registry: Optional[MetricsRegistry] = None,
+        selectivity_window: int = 5000,
     ):
         if strategy not in STRATEGIES:
             raise ValueError(
@@ -93,11 +168,24 @@ class ContinuousQuery:
         self._next_seq = 0
         self._tuples_pushed = 0
         self._emitted_cursor = 0
-        # probe statistics per stream: [probes, matches]
-        self._probe_stats: Dict[str, List[int]] = {
-            name: [0, 0] for name in schema.names
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.selectivity_window = selectivity_window
+        self._stats: Dict[str, _StreamStats] = {
+            name: self._register_stream_stats(name) for name in schema.names
         }
+        self._transitions_total = self.registry.counter("query_transitions_total")
+        self._wired: "weakref.WeakSet[JoinOperator]" = weakref.WeakSet()
         self._wire_observers()
+
+    def _register_stream_stats(self, name: str) -> _StreamStats:
+        reg = self.registry
+        return _StreamStats(
+            SelectivityDriftDetector(window=self.selectivity_window),
+            reg.counter("query_probes_total", stream=name),
+            reg.counter("query_matches_total", stream=name),
+            reg.gauge("query_selectivity", stream=name),
+            reg.gauge("query_drift_flag", stream=name),
+        )
 
     # -- ingestion ------------------------------------------------------------------
 
@@ -133,10 +221,29 @@ class ContinuousQuery:
         return self.strategy.metrics
 
     def selectivity_of(self, stream: str) -> Optional[float]:
-        probes, matches = self._probe_stats[stream]
+        """Match rate of probes against ``stream`` since the last
+        optimizer consultation (``None`` before the first probe)."""
+        probes, matches = self._stats[stream].since_consult()
         if probes == 0:
             return None
         return matches / probes
+
+    def windowed_selectivity_of(self, stream: str) -> Optional[float]:
+        """Live selectivity over the estimator's sliding window."""
+        return self._stats[stream].detector.estimate()
+
+    def drifted(self, stream: str) -> bool:
+        """Has the Page–Hinkley test flagged a selectivity shift?"""
+        return self._stats[stream].detector.drifted
+
+    def sync_telemetry(self) -> MetricsRegistry:
+        """Refresh the selectivity/drift gauges from the live detectors."""
+        for stats in self._stats.values():
+            estimate = stats.detector.estimate()
+            if estimate is not None:
+                stats.selectivity_gauge.set(estimate)
+            stats.drift_gauge.set(1 if stats.detector.drifted else 0)
+        return self.registry
 
     # -- the adaptive loop ---------------------------------------------------------
 
@@ -145,34 +252,53 @@ class ContinuousQuery:
         return self._consult_optimizer()
 
     def _consult_optimizer(self) -> Optional[Tuple[str, ...]]:
-        for name, (probes, matches) in self._probe_stats.items():
+        for name, stats in self._stats.items():
+            probes, matches = stats.since_consult()
             if probes:
                 self.optimizer.observe(name, probes, matches)
-                self._probe_stats[name] = [0, 0]
+                stats.mark_consulted()
         proposal = self.optimizer.propose(self.order)
         if proposal is None:
             return None
         self.strategy.transition(proposal)
         self.order = proposal
         self.transition_log.append((self._next_seq, proposal))
+        self._transitions_total.inc()
         self._wire_observers()
         return proposal
 
     def _wire_observers(self) -> None:
-        """Attach probe-statistics taps to the current plan's joins."""
+        """Attach probe-statistics taps to the current plan's joins.
+
+        Idempotent and non-clobbering: each join is tapped once (tracked
+        via a WeakSet, so operators discarded with their plan drop out),
+        and an observer someone else installed — e.g. a
+        :class:`~repro.telemetry.hub.TelemetryTracer` — keeps firing
+        after ours.
+        """
         if hasattr(self.strategy, "tracks"):  # parallel track: all live plans
             plans = [t.plan for t in self.strategy.tracks]
         else:
             plans = [self.strategy.plan]
         for p in plans:
             for op in p.internal:
-                if isinstance(op, JoinOperator):
-                    op.probe_observer = self._observe_probe
+                if isinstance(op, JoinOperator) and op not in self._wired:
+                    self._wired.add(op)
+                    op.probe_observer = self._chain_tap(op.probe_observer)
+
+    def _chain_tap(
+        self, prev: Optional[Callable[[Operator, bool], None]]
+    ) -> Callable[[Operator, bool], None]:
+        observe = self._observe_probe
+
+        def tap(probed: Operator, matched: bool) -> None:
+            observe(probed, matched)
+            if prev is not None:
+                prev(probed, matched)
+
+        return tap
 
     def _observe_probe(self, probed: Operator, matched: bool) -> None:
         # Only scan probes carry a clean per-stream signal.
         if isinstance(probed, StreamScan):
-            stats = self._probe_stats[probed.stream]
-            stats[0] += 1
-            if matched:
-                stats[1] += 1
+            self._stats[probed.stream].observe(matched)

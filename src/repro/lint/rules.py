@@ -520,3 +520,77 @@ class HygieneRule(Rule):
         self, node: ast.AsyncFunctionDef, ctx: LintContext
     ) -> None:
         self._check_defaults(node, ctx)
+
+
+# ---------------------------------------------------------------------------
+# JISC007 — telemetry registration discipline
+
+
+@register
+class TelemetryRegistrationRule(Rule):
+    """Telemetry instruments are registered at init time, not per tuple.
+
+    The telemetry overhead budget (docs/TELEMETRY.md, < 5% wall-clock)
+    holds because the hot path touches pre-resolved instrument objects —
+    plain attribute increments.  A ``registry.counter(...)`` call *is*
+    get-or-create: it formats and hashes the label set on every call, so
+    one factory call inside ``arrival()`` or a per-tuple loop silently
+    turns O(1) increments into O(label-set) dictionary work and blows the
+    budget the perf gate certifies.  Factories therefore may only be
+    called from init-like code: module scope, ``__init__``/``attach``,
+    or functions whose name says they register/wire/init something.
+    """
+
+    rule_id = "JISC007"
+    name = "telemetry-registration"
+    description = (
+        "registry instrument factories (counter/gauge/histogram/windowed) "
+        "may only be called from init-like functions (__init__, attach, "
+        "*register*/*wire*/*init*) or module scope, never on hot paths"
+    )
+
+    #: The MetricsRegistry get-or-create factory methods.
+    FACTORIES = {"counter", "gauge", "histogram", "windowed"}
+    #: Receiver names that identify a registry object.
+    RECEIVERS = {"registry", "_registry", "reg"}
+    #: Exact function names that count as init-time.
+    INIT_EXACT = {"__init__", "__post_init__", "attach"}
+    #: Substrings that mark a function as registration/wiring code.
+    INIT_MARKERS = ("register", "wire", "init", "setup", "instrument")
+
+    def applies_to(self, ctx: LintContext) -> bool:
+        # The registry implements the factories; it may call its own.
+        return ctx.in_engine and ctx.module_path != "repro/telemetry/registry.py"
+
+    @classmethod
+    def _init_like(cls, name: str) -> bool:
+        return name in cls.INIT_EXACT or any(m in name for m in cls.INIT_MARKERS)
+
+    @staticmethod
+    def _enclosing_function(
+        node: ast.AST, ctx: LintContext
+    ) -> Optional[Union[ast.FunctionDef, ast.AsyncFunctionDef]]:
+        cur = ctx.parent(node)
+        while cur is not None and not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            cur = ctx.parent(cur)
+        return cur
+
+    def visit_Call(self, call: ast.Call, ctx: LintContext) -> None:
+        chain = call_chain(call)
+        if chain is None or len(chain) < 2:
+            return
+        if chain[-1] not in self.FACTORIES or chain[-2] not in self.RECEIVERS:
+            return
+        fn = self._enclosing_function(call, ctx)
+        if fn is None or self._init_like(fn.name):
+            return
+        ctx.report(
+            self.rule_id,
+            call,
+            f"registry.{chain[-1]}() inside {fn.name}() is get-or-create "
+            f"label hashing on a non-init path; resolve the instrument once "
+            f"at init/attach and increment the resolved object here "
+            f"(docs/TELEMETRY.md, overhead budget)",
+        )

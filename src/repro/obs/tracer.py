@@ -119,6 +119,11 @@ class Tracer:
     """
 
     enabled = False
+    #: Does this tracer want the per-operation ``on_count`` callback?
+    #: ``Metrics.count`` guards on this separately from ``enabled`` so a
+    #: tracer that derives op counts some cheaper way (the telemetry hub
+    #: reads count deltas at phase boundaries) pays no per-op call.
+    wants_counts = False
     phase = PHASE_STEADY
 
     # -- wiring -----------------------------------------------------------------------
@@ -211,6 +216,7 @@ class RecordingTracer(Tracer):
     """
 
     enabled = True
+    wants_counts = True
 
     def __init__(self, capacity: int = 100_000, clock: Optional["VirtualClock"] = None):
         if capacity <= 0:

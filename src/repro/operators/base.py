@@ -39,6 +39,13 @@ class Operator:
         # of being pushed synchronously — the explicit input-queue model of
         # Section 2.1 / 4.1 (see ``engine.queued``).
         self.scheduler = None
+        # Probe tallies, bumped by the *parent* join whenever this
+        # operator's state is probed.  Two plain int adds per probe —
+        # cheap enough to keep always-on, which lets the telemetry hub
+        # derive selectivities by polling deltas instead of intercepting
+        # every probe (repro.telemetry.hub).
+        self.probes = 0
+        self.hits = 0
 
     # -- plan structure ------------------------------------------------------------
 

@@ -67,6 +67,9 @@ class JoinOperator(BinaryOperator):
         if not opposite.state.status.complete and self.completion_hook is not None:
             self.completion_hook(tup, self, opposite)
         matches = self.matches_in(opposite.state, tup.key)
+        opposite.probes += 1
+        if matches:
+            opposite.hits += 1
         if self.probe_observer is not None:
             self.probe_observer(opposite, bool(matches))
         if matches:

@@ -177,7 +177,7 @@ def _n_count(self: Metrics, op: str) -> None:
     counts[op] = counts.get(op, 0) + 1
     if self.clock is not None:
         self.clock.tick(op)
-    if self.tracer.enabled:
+    if self.tracer.wants_counts:
         self.tracer.on_count(op, 1)
 
 
@@ -222,6 +222,9 @@ def _n_join_process(self: JoinOperator, tup: Any, child: Any) -> None:
     if not opposite.state.status.complete and self.completion_hook is not None:
         self.completion_hook(tup, self, opposite)
     matches = self.matches_in(opposite.state, tup.key)
+    opposite.probes += 1
+    if matches:
+        opposite.hits += 1
     if self.probe_observer is not None:
         self.probe_observer(opposite, bool(matches))
     for match in matches:

@@ -9,7 +9,13 @@ Two checks, both against in-repo ground truth:
    virtual-time floats get a small tolerance for summation-order noise
    (and the 6-decimal rounding of the committed files).
 
-2. **Wall-clock speedup** — times fig9- and fig7-shaped scenarios with
+2. **Telemetry overhead** — runs plain and telemetry-attached engine
+   twins chunk-interleaved over the same gate shapes
+   (:mod:`repro.perf.telemetry_gate`) and certifies that attaching the
+   live hub leaves op counts and outputs byte-identical while costing at
+   most ``--max-telemetry-overhead`` (default 5%) wall-clock.
+
+3. **Wall-clock speedup** — times fig9- and fig7-shaped scenarios with
    the accelerated hot paths and again inside
    :func:`repro.perf.naive.naive_mode` (the preserved pre-acceleration
    implementations) in the same process.  The naive/fast ratio must stay
@@ -103,6 +109,12 @@ def _payload_shard_scaleout() -> Any:
     return run()
 
 
+def _payload_telemetry() -> Any:
+    from repro.perf.telemetry_gate import identity_payload
+
+    return identity_payload()
+
+
 #: baseline file stem -> fresh-payload builder (shapes match the benchmark
 #: tests' ``emit(..., data=...)`` calls exactly).
 FIGURES: Dict[str, Callable[[], Any]] = {
@@ -110,6 +122,7 @@ FIGURES: Dict[str, Callable[[], Any]] = {
     "fig7_migration_best": _payload_fig7,
     "fig10_latency": _payload_fig10,
     "shard_scaleout": _payload_shard_scaleout,
+    "telemetry_overhead": _payload_telemetry,
 }
 
 
@@ -164,7 +177,34 @@ def check_counts(repo_root: str) -> Dict[str, Any]:
 
 
 # ---------------------------------------------------------------------------
-# Check 2: wall-clock speedup vs the preserved naive implementations.
+# Check 2: telemetry must observe, not perturb — and stay under budget.
+
+
+def check_telemetry(max_overhead: float, trials: int = 5) -> Dict[str, Any]:
+    """Identity + overhead verdicts per telemetry gate workload.
+
+    A workload passes when the telemetry-attached twin produced exactly
+    the plain twin's op counters and outputs (every trial) and the
+    median chunk-interleaved total-time overhead is within
+    ``max_overhead``.  See :mod:`repro.perf.telemetry_gate` for why the
+    median of *total* ratios is the only trustworthy estimator here.
+    """
+    from repro.perf.telemetry_gate import WORKLOADS, measure_overhead
+
+    results: Dict[str, Any] = {}
+    for name in WORKLOADS:
+        res = measure_overhead(name, trials=trials)
+        res["ok"] = (
+            res["ops_identical"]
+            and res["outputs_identical"]
+            and res["overhead"] <= max_overhead
+        )
+        results[name] = res
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Check 3: wall-clock speedup vs the preserved naive implementations.
 
 
 def _scenario_fig9() -> Any:
@@ -239,14 +279,32 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="required naive/fast wall-clock ratio (default: 1.25)",
     )
     parser.add_argument(
+        "--max-telemetry-overhead",
+        type=float,
+        default=0.05,
+        help="allowed wall-clock overhead of an attached TelemetryTracer "
+        "(default: 0.05 = 5%%)",
+    )
+    parser.add_argument(
         "--skip-timing",
         action="store_true",
-        help="run only the op-count fidelity checks",
+        help="skip the wall-clock checks (speedup and telemetry overhead)",
     )
     parser.add_argument(
         "--skip-counts",
         action="store_true",
-        help="run only the wall-clock speedup checks",
+        help="skip the op-count fidelity checks",
+    )
+    parser.add_argument(
+        "--skip-telemetry",
+        action="store_true",
+        help="skip the telemetry identity/overhead check",
+    )
+    parser.add_argument(
+        "--skip-speedup",
+        action="store_true",
+        help="skip the naive-vs-fast speedup check (keeps the telemetry "
+        "check; the CI telemetry job gates only on the latter)",
     )
     args = parser.parse_args(argv)
 
@@ -258,7 +316,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error(f"cannot import the benchmarks package ({exc}); run from the repo root")
     repo_root = bench_common.REPO_ROOT
 
-    report: Dict[str, Any] = {"counts": {}, "speedups": {}, "min_speedup": args.min_speedup}
+    report: Dict[str, Any] = {
+        "counts": {},
+        "telemetry": {},
+        "speedups": {},
+        "min_speedup": args.min_speedup,
+        "max_telemetry_overhead": args.max_telemetry_overhead,
+    }
     ok = True
 
     if not args.skip_counts:
@@ -274,7 +338,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"    {m}")
             ok = ok and res["ok"]
 
-    if not args.skip_timing:
+    if not (args.skip_telemetry or args.skip_timing):
+        budget = args.max_telemetry_overhead
+        print(f"== telemetry identity + overhead (gate: <= {budget:.1%}) ==")
+        report["telemetry"] = check_telemetry(budget)
+        for name, res in report["telemetry"].items():
+            status = "OK" if res["ok"] else (
+                "PERTURBED"
+                if not (res["ops_identical"] and res["outputs_identical"])
+                else "TOO EXPENSIVE"
+            )
+            print(
+                f"  {name:<28} overhead={res['overhead']:+.2%} "
+                f"(trials: {', '.join(f'{o:+.2%}' for o in res['overheads'])}) "
+                f"identical={res['ops_identical'] and res['outputs_identical']} "
+                f"{status}"
+            )
+            ok = ok and res["ok"]
+
+    if not (args.skip_timing or args.skip_speedup):
         print(f"== wall-clock speedup vs naive (gate: >= {args.min_speedup}x) ==")
         report["speedups"] = check_speedups(args.min_speedup)
         for name, res in report["speedups"].items():

@@ -133,6 +133,9 @@ class ShardedExecutor:
         self._logs: List[List[LogEntry]] = [[] for _ in range(num_shards)]
         self._crashed: Set[int] = set()
         self._merger = ShardMerger()
+        #: Optional live-telemetry hub (set by ShardTelemetry); recovery
+        #: notifies it so rebuilt workers re-register their series.
+        self.telemetry: Optional[Any] = None
 
     # -- construction helpers ----------------------------------------------------------
 
@@ -468,6 +471,8 @@ class ShardedExecutor:
         self._crashed.discard(shard)
         if tracer.enabled:
             tracer.recovery("shard_rebuilt", shard=shard, entries=len(self._logs[shard]))
+        if self.telemetry is not None:
+            self.telemetry.on_worker_recovered(shard, worker)
 
     def crash_and_recover(self, shard: int) -> None:
         self.crash_shard(shard)

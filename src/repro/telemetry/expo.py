@@ -1,0 +1,220 @@
+"""Exposition: Prometheus-style text rendering, JSONL snapshots, diffs.
+
+Readers of the registry come in three shapes, all built on
+:meth:`~repro.telemetry.registry.MetricsRegistry.collect` so they can
+never disagree with each other:
+
+* :func:`render_prometheus` — the standard ``# TYPE`` + ``name{labels}
+  value`` text format, suitable for a scrape endpoint or a CI artifact.
+  Non-numeric gauges (the current phase, the hot-key sketch) are encoded
+  the conventional way: strings become info-style series with the value
+  as a label, structured values become per-field sub-series.
+
+* :func:`registry_snapshot` / :class:`SnapshotLog` — JSON snapshots of
+  every series at a virtual timestamp; a log of them serializes to JSONL
+  (one object per line, ``kind: "telemetry_snapshot"``) that interleaves
+  cleanly with the obs trace format (:mod:`repro.obs.tracer` ignores
+  unknown kinds, and :func:`load_snapshots` ignores trace events).
+
+* :func:`diff_snapshots` — the snapshot-diff report the dashboard's
+  ``--diff`` mode prints: added/removed series and changed values
+  between two snapshots, sorted, one line each.
+
+Everything here is deterministic: sorted series order, sorted JSON keys,
+virtual timestamps only (JISC001 bans wall clocks in ``src/repro``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Tuple
+
+from repro.telemetry.registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    Instrument,
+    MetricsRegistry,
+    Windowed,
+    series_name,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - types only
+    pass
+
+SNAPSHOT_KIND = "telemetry_snapshot"
+
+#: Prometheus metric types by instrument kind.
+_PROM_TYPE = {
+    "counter": "counter",
+    "gauge": "gauge",
+    "histogram": "summary",
+    "windowed": "gauge",
+}
+
+
+def _fmt(value: float) -> str:
+    """Numeric rendering: integers without a trailing ``.0``."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    as_float = float(value)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+def _label_body(labels: Iterable[Tuple[str, str]]) -> str:
+    body = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{{{body}}}" if body else ""
+
+
+def _render_instrument(full: str, ins: Instrument) -> List[str]:
+    labels = ins.labels
+    base = _label_body(labels)
+    if isinstance(ins, Counter):
+        return [f"{full}{base} {_fmt(ins.value)}"]
+    if isinstance(ins, Gauge):
+        value = ins.value
+        if isinstance(value, (int, float)):
+            return [f"{full}{base} {_fmt(value)}"]
+        if isinstance(value, str):
+            # Info-style: the string becomes a label, the sample is 1.
+            return [f"{full}{_label_body(tuple(labels) + (('value', value),))} 1"]
+        # Structured gauge (e.g. the hot-key sketch): numeric fields only.
+        lines = []
+        if isinstance(value, dict):
+            for field in sorted(value):
+                v = value[field]
+                if isinstance(v, (int, float)) and not isinstance(v, bool):
+                    lines.append(f"{full}_{field}{base} {_fmt(v)}")
+        return lines
+    if isinstance(ins, Histogram):
+        summary = ins.summary()
+        lines = [
+            f"{full}_count{base} {_fmt(summary['count'])}",
+            f"{full}_sum{base} {_fmt(ins.hist.total)}",
+        ]
+        for q, field in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            q_labels = _label_body(tuple(labels) + (("quantile", q),))
+            lines.append(f"{full}{q_labels} {_fmt(summary[field])}")
+        return lines
+    if isinstance(ins, Windowed):
+        lines = [
+            f"{full}_count{base} {_fmt(len(ins))}",
+            f"{full}_dropped{base} {_fmt(ins.dropped)}",
+        ]
+        numeric = ins.numeric()
+        if numeric and len(numeric) == len(ins):
+            lines.append(f"{full}_mean{base} {_fmt(ins.mean())}")
+            lines.append(f"{full}_last{base} {_fmt(numeric[-1])}")
+        return lines
+    return []  # pragma: no cover - all kinds handled above
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Render every series in Prometheus text exposition format."""
+    lines: List[str] = []
+    last_name: Optional[str] = None
+    for ins in registry.collect():
+        full = prefix + ins.name
+        if ins.name != last_name:
+            lines.append(f"# TYPE {full} {_PROM_TYPE[ins.kind]}")
+            last_name = ins.name
+        lines.extend(_render_instrument(full, ins))
+    return "\n".join(lines) + "\n"
+
+
+# -- snapshots -------------------------------------------------------------------------
+
+
+def registry_snapshot(registry: MetricsRegistry, at: float = 0.0) -> Dict[str, Any]:
+    """One JSON-shaped snapshot of every series at virtual time ``at``."""
+    return {
+        "kind": SNAPSHOT_KIND,
+        "at": at,
+        "series": {ins.series: ins.value_json() for ins in registry.collect()},
+    }
+
+
+def diff_snapshots(a: Dict[str, Any], b: Dict[str, Any]) -> List[str]:
+    """Human-readable changes between two snapshots, one line each.
+
+    Added series are prefixed ``+``, removed ``-``, changed ``~`` with the
+    old and new value.  Unchanged series produce no line.
+    """
+    sa: Dict[str, Any] = a.get("series", {})
+    sb: Dict[str, Any] = b.get("series", {})
+    lines: List[str] = []
+    for name in sorted(set(sa) | set(sb)):
+        if name not in sa:
+            lines.append(f"+ {name} = {json.dumps(sb[name], sort_keys=True)}")
+        elif name not in sb:
+            lines.append(f"- {name}")
+        elif sa[name] != sb[name]:
+            old = json.dumps(sa[name], sort_keys=True)
+            new = json.dumps(sb[name], sort_keys=True)
+            lines.append(f"~ {name}: {old} -> {new}")
+    return lines
+
+
+class SnapshotLog:
+    """An append-only sequence of registry snapshots, JSONL-serializable."""
+
+    __slots__ = ("snapshots",)
+
+    def __init__(self) -> None:
+        self.snapshots: List[Dict[str, Any]] = []
+
+    def append(self, snapshot: Dict[str, Any]) -> None:
+        self.snapshots.append(snapshot)
+
+    def take(self, registry: MetricsRegistry, at: float = 0.0) -> Dict[str, Any]:
+        snap = registry_snapshot(registry, at=at)
+        self.append(snap)
+        return snap
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def last(self) -> Optional[Dict[str, Any]]:
+        return self.snapshots[-1] if self.snapshots else None
+
+    def to_jsonl(self) -> str:
+        return (
+            "\n".join(
+                json.dumps(snap, sort_keys=True, default=str)
+                for snap in self.snapshots
+            )
+            + "\n"
+            if self.snapshots
+            else ""
+        )
+
+    def export_jsonl(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_jsonl())
+
+    def diffs(self) -> List[List[str]]:
+        """Pairwise diffs between consecutive snapshots."""
+        snaps = self.snapshots
+        return [diff_snapshots(snaps[i - 1], snaps[i]) for i in range(1, len(snaps))]
+
+
+def load_snapshots(path: str) -> List[Dict[str, Any]]:
+    """Load snapshots from a JSONL file, skipping non-snapshot lines.
+
+    Tolerates mixed files: an obs trace with interleaved snapshots loads
+    the snapshots only.
+    """
+    out: List[Dict[str, Any]] = []
+    with open(path) as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            obj = json.loads(line)
+            if isinstance(obj, dict) and obj.get("kind") == SNAPSHOT_KIND:
+                out.append(obj)
+    return out

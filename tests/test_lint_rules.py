@@ -481,6 +481,114 @@ class TestHygiene:
 
 
 # ---------------------------------------------------------------------------
+# JISC007 — telemetry registration discipline
+# ---------------------------------------------------------------------------
+
+
+class TestTelemetryRegistration:
+    def test_factory_in_hot_hook_flagged(self):
+        findings = run(
+            """
+            class Hub:
+                def arrival(self, tup):
+                    self.registry.counter("arrivals_total", strategy="jisc").inc()
+            """
+        )
+        assert ids(findings, "JISC007")
+
+    def test_factory_in_per_tuple_loop_flagged(self):
+        findings = run(
+            """
+            def drain(registry, tuples):
+                for tup in tuples:
+                    registry.histogram("latency", stream=tup.stream).observe(1.0)
+            """
+        )
+        assert ids(findings, "JISC007")
+
+    def test_aliased_receiver_flagged(self):
+        findings = run(
+            """
+            class Hub:
+                def output(self, tup):
+                    reg = self.registry
+                    reg.gauge("outputs", strategy="jisc").set(1)
+            """
+        )
+        assert ids(findings, "JISC007")
+
+    def test_factory_in_init_ok(self):
+        findings = run(
+            """
+            class Hub:
+                def __init__(self, registry):
+                    self.registry = registry
+                    self._arrivals = registry.counter("arrivals_total", strategy="jisc")
+            """
+        )
+        assert not ids(findings, "JISC007")
+
+    def test_factory_in_attach_and_register_helpers_ok(self):
+        findings = run(
+            """
+            class Hub:
+                def attach(self, target):
+                    self._gauge = self.registry.gauge("phase", strategy="jisc")
+                    return target
+
+                def _register_stream(self, stream):
+                    self.registry.counter("stream_arrivals_total", stream=stream)
+
+                def wire_series(self):
+                    self.registry.windowed("lat", capacity=64, strategy="jisc")
+            """
+        )
+        assert not ids(findings, "JISC007")
+
+    def test_resolved_instrument_increment_ok(self):
+        findings = run(
+            """
+            class Hub:
+                def arrival(self, tup):
+                    self._arrivals_total.inc()
+            """
+        )
+        assert not ids(findings, "JISC007")
+
+    def test_module_scope_registration_ok(self):
+        findings = run(
+            """
+            from repro.telemetry.registry import MetricsRegistry
+
+            registry = MetricsRegistry()
+            ARRIVALS = registry.counter("arrivals_total", strategy="jisc")
+            """
+        )
+        assert not ids(findings, "JISC007")
+
+    def test_registry_implementation_exempt(self):
+        findings = run(
+            """
+            class MetricsRegistry:
+                def histogram_for(self, registry, name):
+                    return registry.histogram(name)
+            """,
+            path="src/repro/telemetry/registry.py",
+        )
+        assert not ids(findings, "JISC007")
+
+    def test_outside_engine_ok(self):
+        findings = run(
+            """
+            def poke(registry):
+                return registry.counter("ad_hoc")
+            """,
+            path="tests/test_example.py",
+        )
+        assert not ids(findings, "JISC007")
+
+
+# ---------------------------------------------------------------------------
 # Suppressions
 # ---------------------------------------------------------------------------
 
