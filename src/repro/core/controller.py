@@ -299,7 +299,9 @@ class JISCController:
         would keep the state incomplete forever).
         """
         key = tup.key
-        for op in list(self.incomplete_ops):
+        # Sorted by membership so retire/complete decisions happen in a
+        # run-independent order (set iteration order varies with hash seed).
+        for op in sorted(self.incomplete_ops, key=lambda o: sorted(o.membership)):
             status = op.state.status
             if status.pending is None or key not in status.pending:
                 continue

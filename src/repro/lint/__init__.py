@@ -37,20 +37,32 @@ from repro.lint.core import (
     lint_source,
     register,
 )
-from repro.lint.reporters import render_json, render_text
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
+from repro.lint.reporters import render_json, render_sarif, render_text
 
-# Importing the rules module populates the registry as a side effect.
+# Importing the rule modules populates the registry as a side effect.
+from repro.lint import flowrules as _flowrules  # noqa: F401
 from repro.lint import rules as _rules  # noqa: F401
 
 __all__ = [
+    "BaselineError",
     "Finding",
     "LintContext",
     "Rule",
     "all_rules",
+    "apply_baseline",
+    "load_baseline",
     "register",
     "lint_file",
     "lint_paths",
     "lint_source",
+    "render_baseline",
     "render_json",
+    "render_sarif",
     "render_text",
 ]

@@ -1,0 +1,161 @@
+"""Baseline files: adopt jisclint on a dirty tree without losing the gate.
+
+A baseline is a JSON multiset of *accepted* findings keyed by
+``(rule, path, message)`` — deliberately not by line, so unrelated edits
+that shift a legacy finding up or down do not break CI.  ``--baseline``
+subtracts the baseline from the current findings: only *new* findings
+fail the run (exit 1), and baseline entries that no longer match anything
+are reported so the file shrinks monotonically toward empty.
+
+Two guard rails keep the baseline from becoming a dumping ground:
+
+* entries under ``repro/migration`` or ``repro/shard`` are refused outright
+  (config error, exit 2) — the migration and sharding layers implement the
+  paper's correctness-critical protocols and must stay finding-free, not
+  grandfathered;
+* an entry may only *reduce* findings; a stale entry (count larger than
+  reality) surfaces in :attr:`BaselineResult.stale`.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Tuple
+
+from repro.lint.core import Finding
+
+BASELINE_FORMAT_VERSION = 1
+
+#: module-path prefixes that may never be baselined (correctness-critical
+#: protocol layers; findings there must be fixed, not accepted).
+PROTECTED_PREFIXES = ("repro/migration/", "repro/shard/")
+
+
+class BaselineError(ValueError):
+    """Malformed or policy-violating baseline file (CLI exit code 2)."""
+
+
+BaselineKey = Tuple[str, str, str]  # (rule, normalized path, message)
+
+
+def _key(rule: str, path: str, message: str) -> BaselineKey:
+    return (rule, path.replace("\\", "/"), message)
+
+
+def finding_key(finding: Finding) -> BaselineKey:
+    return _key(finding.rule_id, finding.path, finding.message)
+
+
+def _is_protected(path: str) -> bool:
+    norm = path.replace("\\", "/")
+    return any(prefix in norm for prefix in PROTECTED_PREFIXES)
+
+
+def load_baseline(path: str) -> Dict[BaselineKey, int]:
+    """Parse and validate a baseline file; raises :class:`BaselineError`."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except OSError as exc:
+        raise BaselineError(f"cannot read baseline {path!r}: {exc}") from exc
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"baseline {path!r} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != BASELINE_FORMAT_VERSION:
+        raise BaselineError(
+            f"baseline {path!r}: expected an object with version="
+            f"{BASELINE_FORMAT_VERSION}"
+        )
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path!r}: 'entries' must be a list")
+    out: Dict[BaselineKey, int] = {}
+    for i, entry in enumerate(entries):
+        if not isinstance(entry, dict):
+            raise BaselineError(f"baseline {path!r}: entry {i} is not an object")
+        try:
+            rule = entry["rule"]
+            epath = entry["path"]
+            message = entry["message"]
+        except KeyError as exc:
+            raise BaselineError(
+                f"baseline {path!r}: entry {i} is missing {exc}"
+            ) from exc
+        count = entry.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise BaselineError(
+                f"baseline {path!r}: entry {i} has invalid count {count!r}"
+            )
+        if _is_protected(epath):
+            raise BaselineError(
+                f"baseline {path!r}: entry {i} ({rule} in {epath}) is under a "
+                f"protected tree ({', '.join(PROTECTED_PREFIXES)}); findings "
+                f"in the migration/sharding protocol layers must be fixed, "
+                f"not baselined"
+            )
+        key = _key(rule, epath, message)
+        out[key] = out.get(key, 0) + count
+    return out
+
+
+class BaselineResult:
+    """Outcome of applying a baseline to a finding list."""
+
+    __slots__ = ("new", "accepted", "stale")
+
+    def __init__(
+        self,
+        new: List[Finding],
+        accepted: List[Finding],
+        stale: List[BaselineKey],
+    ):
+        self.new = new  # findings NOT covered by the baseline (fail the run)
+        self.accepted = accepted  # findings the baseline absorbed
+        self.stale = stale  # baseline keys with leftover counts (prune them)
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Dict[BaselineKey, int]
+) -> BaselineResult:
+    """Split ``findings`` into new vs accepted; report stale entries."""
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    accepted: List[Finding] = []
+    for finding in findings:
+        key = finding_key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return BaselineResult(new, accepted, stale)
+
+
+def render_baseline(findings: Sequence[Finding]) -> str:
+    """Serialize ``findings`` as a baseline file (``--write-baseline``).
+
+    Refuses findings under the protected trees for the same reason
+    :func:`load_baseline` does.
+    """
+    protected = [f for f in findings if _is_protected(f.path)]
+    if protected:
+        first = protected[0]
+        raise BaselineError(
+            f"refusing to baseline {len(protected)} finding(s) under "
+            f"protected trees (first: {first.rule_id} in {first.path}); fix "
+            f"them instead"
+        )
+    counts: Dict[BaselineKey, int] = {}
+    for finding in findings:
+        key = finding_key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"rule": rule, "path": path, "message": message, "count": count}
+        for (rule, path, message), count in sorted(counts.items())
+    ]
+    payload = {
+        "version": BASELINE_FORMAT_VERSION,
+        "tool": "jisclint",
+        "entries": entries,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

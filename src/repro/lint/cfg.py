@@ -1,0 +1,223 @@
+"""Per-function control-flow graphs for jisclint's dataflow analyses.
+
+A :class:`CFG` is built from a ``FunctionDef`` / ``AsyncFunctionDef`` body by
+:func:`build_cfg`.  Statements are grouped into basic blocks; edges follow
+Python's structured control flow:
+
+* ``if`` / ``while`` / ``for`` produce the usual branch / back edges (loop
+  bodies loop back to their header; ``else`` clauses are honored).
+* ``break`` / ``continue`` jump to the innermost loop's after / header block.
+* ``return`` routes through every enclosing ``finally`` suite before reaching
+  the synthetic :attr:`CFG.exit` block; ``raise`` does the same but lands on
+  :attr:`CFG.raise_exit` so analyses can treat abrupt unwinding separately.
+* ``try`` bodies get an approximate exceptional edge from their *entry* to
+  each handler (any statement of the suite may raise); handlers and the
+  normal path both flow through the ``finally`` suite when present.
+* ``with`` bodies are treated as straight-line code (the context manager's
+  ``__exit__`` is not modeled).
+
+The graph is intentionally modest: no exceptional edges out of arbitrary
+calls, no ``__exit__`` modeling.  This matches what the JISC008/JISC010
+analyses need — the engine's span and handle idioms are all structured
+``try/finally`` or guard-variable patterns (see docs/STATIC_ANALYSIS.md,
+"approximations").
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass
+class Block:
+    """A basic block: a run of statements with single-entry control flow."""
+
+    id: int
+    stmts: List[ast.stmt] = field(default_factory=list)
+    succs: List[int] = field(default_factory=list)
+    preds: List[int] = field(default_factory=list)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        lines = [getattr(s, "lineno", "?") for s in self.stmts]
+        return f"Block({self.id}, lines={lines}, succs={self.succs})"
+
+
+class CFG:
+    """Control-flow graph over the body of one function."""
+
+    def __init__(self, func: ast.AST):
+        self.func = func
+        self.blocks: Dict[int, Block] = {}
+        self.entry = self._new_block().id
+        self.exit = self._new_block().id
+        #: abrupt (``raise``) exits land here instead of :attr:`exit` so that
+        #: path-sensitive checks can ignore unwinding if they choose to.
+        self.raise_exit = self._new_block().id
+
+    def _new_block(self) -> Block:
+        block = Block(id=len(self.blocks))
+        self.blocks[block.id] = block
+        return block
+
+    def add_edge(self, src: int, dst: int) -> None:
+        if dst not in self.blocks[src].succs:
+            self.blocks[src].succs.append(dst)
+            self.blocks[dst].preds.append(src)
+
+    def exit_blocks(self) -> List[int]:
+        """Blocks flowing into the normal exit (``return`` or fall-off)."""
+        return list(self.blocks[self.exit].preds)
+
+
+class _Lowerer:
+    """Recursive-descent lowering of a statement list onto a :class:`CFG`."""
+
+    def __init__(self, cfg: CFG):
+        self.cfg = cfg
+        # Innermost-last stacks of (header, after) loop targets and of
+        # pending ``finally`` suites that returns/raises must run through.
+        self.loops: List[Tuple[int, int]] = []
+        self.finallies: List[List[ast.stmt]] = []
+
+    # -- helpers -----------------------------------------------------------
+
+    def _block(self) -> Block:
+        return self.cfg._new_block()
+
+    def _emit(self, block: int, stmt: ast.stmt) -> None:
+        self.cfg.blocks[block].stmts.append(stmt)
+
+    def _through_finallies(self, src: int, dest: int) -> None:
+        """Route an abrupt jump from ``src`` to ``dest`` via pending finallies."""
+        cur = src
+        for suite in reversed(self.finallies):
+            nxt = self._block().id
+            self.cfg.add_edge(cur, nxt)
+            cur = self.lower_suite(suite, nxt)
+        self.cfg.add_edge(cur, dest)
+
+    # -- lowering ----------------------------------------------------------
+
+    def lower_suite(self, stmts: List[ast.stmt], current: int) -> int:
+        """Lower ``stmts`` starting in block ``current``; return the block
+        where control continues (may be unreachable after a jump)."""
+        for stmt in stmts:
+            current = self.lower_stmt(stmt, current)
+        return current
+
+    def lower_stmt(self, stmt: ast.stmt, current: int) -> int:
+        cfg = self.cfg
+        if isinstance(stmt, ast.If):
+            self._emit(current, stmt)  # the test expression
+            then_b = self._block().id
+            cfg.add_edge(current, then_b)
+            then_end = self.lower_suite(stmt.body, then_b)
+            after = self._block().id
+            cfg.add_edge(then_end, after)
+            if stmt.orelse:
+                else_b = self._block().id
+                cfg.add_edge(current, else_b)
+                else_end = self.lower_suite(stmt.orelse, else_b)
+                cfg.add_edge(else_end, after)
+            else:
+                cfg.add_edge(current, after)
+            return after
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            header = self._block().id
+            cfg.add_edge(current, header)
+            self._emit(header, stmt)  # test / iteration target
+            body_b = self._block().id
+            after = self._block().id
+            cfg.add_edge(header, body_b)
+            cfg.add_edge(header, after)
+            self.loops.append((header, after))
+            body_end = self.lower_suite(stmt.body, body_b)
+            self.loops.pop()
+            cfg.add_edge(body_end, header)
+            if stmt.orelse:
+                # The else suite runs on normal loop exit; fold it between
+                # the header and the after block.
+                else_b = self._block().id
+                cfg.add_edge(header, else_b)
+                else_end = self.lower_suite(stmt.orelse, else_b)
+                cfg.add_edge(else_end, after)
+            return after
+        if isinstance(stmt, ast.Break):
+            if self.loops:
+                cfg.add_edge(current, self.loops[-1][1])
+            return self._block().id
+        if isinstance(stmt, ast.Continue):
+            if self.loops:
+                cfg.add_edge(current, self.loops[-1][0])
+            return self._block().id
+        if isinstance(stmt, ast.Return):
+            self._emit(current, stmt)
+            self._through_finallies(current, cfg.exit)
+            return self._block().id
+        if isinstance(stmt, ast.Raise):
+            self._emit(current, stmt)
+            self._through_finallies(current, cfg.raise_exit)
+            return self._block().id
+        if isinstance(stmt, ast.Try):
+            return self._lower_try(stmt, current)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            self._emit(current, stmt)  # context expressions
+            body_b = self._block().id
+            cfg.add_edge(current, body_b)
+            return self.lower_suite(stmt.body, body_b)
+        # Nested defs/classes are opaque statements for the enclosing CFG.
+        self._emit(current, stmt)
+        return current
+
+    def _lower_try(self, stmt: ast.Try, current: int) -> int:
+        cfg = self.cfg
+        try_entry = self._block().id
+        cfg.add_edge(current, try_entry)
+        if stmt.finalbody:
+            self.finallies.append(stmt.finalbody)
+        try_end = self.lower_suite(stmt.body, try_entry)
+        if stmt.orelse:
+            else_b = self._block().id
+            cfg.add_edge(try_end, else_b)
+            try_end = self.lower_suite(stmt.orelse, else_b)
+        handler_ends: List[int] = []
+        for handler in stmt.handlers:
+            h_b = self._block().id
+            # Approximation: the exception may occur anywhere in the try
+            # suite; we model it as occurring at the suite's entry.
+            cfg.add_edge(try_entry, h_b)
+            handler_ends.append(self.lower_suite(handler.body, h_b))
+        if stmt.finalbody:
+            self.finallies.pop()
+            fin_b = self._block().id
+            cfg.add_edge(try_end, fin_b)
+            for h_end in handler_ends:
+                cfg.add_edge(h_end, fin_b)
+            # Exception with no matching handler: finally still runs, then
+            # the frame unwinds.
+            if not stmt.handlers:
+                cfg.add_edge(try_entry, fin_b)
+            fin_end = self.lower_suite(stmt.finalbody, fin_b)
+            if not stmt.handlers:
+                cfg.add_edge(fin_end, cfg.raise_exit)
+            return fin_end
+        after = self._block().id
+        cfg.add_edge(try_end, after)
+        for h_end in handler_ends:
+            cfg.add_edge(h_end, after)
+        return after
+
+
+def build_cfg(func: ast.AST) -> CFG:
+    """Build the control-flow graph for a function definition node."""
+    if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        raise TypeError(f"build_cfg expects a function node, got {type(func).__name__}")
+    cfg = CFG(func)
+    lowerer = _Lowerer(cfg)
+    first = cfg._new_block().id
+    cfg.add_edge(cfg.entry, first)
+    end = lowerer.lower_suite(func.body, first)
+    cfg.add_edge(end, cfg.exit)
+    return cfg

@@ -1,7 +1,18 @@
 """Command-line front end: ``python -m repro.lint [paths...]``.
 
-Exit codes are CI-friendly: 0 when clean, 1 when any finding (including
-unused suppressions) survives, 2 on usage errors.
+Exit codes are CI-friendly and documented:
+
+* ``0`` — clean (no new findings; baseline-accepted findings are fine)
+* ``1`` — at least one finding survived suppressions and the baseline
+* ``2`` — configuration or usage error (unknown rule id, unreadable
+  paths, malformed or policy-violating baseline, failed ``--self-check``)
+
+``--sarif out.sarif`` writes a SARIF 2.1.0 log alongside the normal
+output; ``--baseline .jisclint-baseline.json`` subtracts accepted legacy
+findings; ``--write-baseline`` regenerates that file from the current
+findings; ``--callgraph-cache`` persists whole-program call-graph facts
+between runs (CI caches it between steps); ``--self-check`` verifies the
+analyzer itself against embedded fixtures.
 """
 
 from __future__ import annotations
@@ -10,8 +21,19 @@ import argparse
 import sys
 from typing import List, Optional, Sequence
 
+from repro.lint.baseline import (
+    BaselineError,
+    apply_baseline,
+    load_baseline,
+    render_baseline,
+)
 from repro.lint.core import all_rules, lint_paths
-from repro.lint.reporters import render_json, render_rule_list, render_text
+from repro.lint.reporters import (
+    render_json,
+    render_rule_list,
+    render_sarif,
+    render_text,
+)
 
 EXIT_CLEAN = 0
 EXIT_FINDINGS = 1
@@ -22,6 +44,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.lint",
         description="jisclint: invariant linter for the JISC reproduction",
+        epilog=(
+            "exit codes: 0 clean, 1 new finding(s), 2 usage/config error "
+            "(unknown rule, bad baseline, failed self-check)"
+        ),
     )
     parser.add_argument(
         "paths",
@@ -42,6 +68,43 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule ids to run (default: all)",
     )
     parser.add_argument(
+        "--sarif",
+        metavar="PATH",
+        default=None,
+        help="additionally write a SARIF 2.1.0 log to PATH",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=None,
+        help=(
+            "JSON baseline of accepted findings; only findings NOT in the "
+            "baseline fail the run (entries under repro/migration or "
+            "repro/shard are refused)"
+        ),
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write the current findings to --baseline PATH and exit",
+    )
+    parser.add_argument(
+        "--callgraph-cache",
+        metavar="PATH",
+        default=None,
+        help="JSON file caching whole-program call-graph facts across runs",
+    )
+    parser.add_argument(
+        "--no-program",
+        action="store_true",
+        help="skip the whole-program (call graph / phase typestate) pass",
+    )
+    parser.add_argument(
+        "--self-check",
+        action="store_true",
+        help="verify the analyzer against embedded fixtures and exit",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule registry and exit",
@@ -57,6 +120,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(render_rule_list())
         return EXIT_CLEAN
 
+    if opts.self_check:
+        from repro.lint.selfcheck import run_self_check
+
+        ok, lines = run_self_check()
+        for line in lines:
+            print(f"jisclint self-check: {line}")
+        if not ok:
+            print("jisclint self-check: FAILED", file=sys.stderr)
+            return EXIT_USAGE
+        print("jisclint self-check: passed")
+        return EXIT_CLEAN
+
     select: Optional[List[str]] = None
     if opts.select is not None:
         select = [rid.strip() for rid in opts.select.split(",") if rid.strip()]
@@ -68,16 +143,59 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             )
             return EXIT_USAGE
 
+    if opts.write_baseline and opts.baseline is None:
+        print("jisclint: --write-baseline requires --baseline PATH", file=sys.stderr)
+        return EXIT_USAGE
+
     try:
-        findings = lint_paths(opts.paths, select=select)
+        findings = lint_paths(
+            opts.paths,
+            select=select,
+            program=not opts.no_program,
+            callgraph_cache=opts.callgraph_cache,
+        )
     except OSError as exc:
         print(f"jisclint: {exc}", file=sys.stderr)
         return EXIT_USAGE
 
+    if opts.write_baseline:
+        try:
+            payload = render_baseline(findings)
+        except BaselineError as exc:
+            print(f"jisclint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        with open(opts.baseline, "w", encoding="utf-8") as fh:
+            fh.write(payload)
+        print(f"jisclint: wrote baseline with {len(findings)} finding(s) to {opts.baseline}")
+        return EXIT_CLEAN
+
+    accepted_note = ""
+    if opts.baseline is not None:
+        try:
+            baseline = load_baseline(opts.baseline)
+        except BaselineError as exc:
+            print(f"jisclint: {exc}", file=sys.stderr)
+            return EXIT_USAGE
+        result = apply_baseline(findings, baseline)
+        findings = result.new
+        if result.accepted:
+            accepted_note = f" ({len(result.accepted)} baseline-accepted)"
+        for rule, path, _message in result.stale:
+            print(
+                f"jisclint: stale baseline entry {rule} in {path} no longer "
+                f"matches any finding; prune it",
+                file=sys.stderr,
+            )
+
+    if opts.sarif is not None:
+        with open(opts.sarif, "w", encoding="utf-8") as fh:
+            fh.write(render_sarif(findings))
+
     if opts.format == "json":
         print(render_json(findings))
     else:
-        print(render_text(findings))
+        text = render_text(findings)
+        print(text + accepted_note if accepted_note else text)
     return EXIT_FINDINGS if findings else EXIT_CLEAN
 
 

@@ -233,6 +233,7 @@ def all_rules() -> Dict[str, Type[Rule]]:
     """The registered rules, keyed by rule id (import-populated)."""
     # Populate on first use so `from repro.lint.core import ...` alone works.
     if not _REGISTRY:
+        from repro.lint import flowrules as _flowrules  # noqa: F401
         from repro.lint import rules as _rules  # noqa: F401
     return dict(_REGISTRY)
 
@@ -250,16 +251,17 @@ def _instantiate(select: Optional[Iterable[str]]) -> List[Rule]:
     return [registry[rid]() for rid in ids]
 
 
-def lint_source(
+def _analyze_source(
     source: str,
-    path: str = "<string>",
-    select: Optional[Iterable[str]] = None,
-) -> List[Finding]:
-    """Lint one source string (the unit-test entry point)."""
+    path: str,
+    select: Optional[Iterable[str]],
+) -> Tuple[Optional[LintContext], List[Finding]]:
+    """Parse and run per-file rules; the context is returned *unfinished*
+    so the whole-program pass can add findings before :meth:`finish`."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
+        return None, [
             Finding(
                 "JISC999",
                 path,
@@ -280,6 +282,18 @@ def lint_source(
             getattr(rule, method)(node, ctx)
     for rule in active:
         rule.end_file(ctx)
+    return ctx, []
+
+
+def lint_source(
+    source: str,
+    path: str = "<string>",
+    select: Optional[Iterable[str]] = None,
+) -> List[Finding]:
+    """Lint one source string (the unit-test entry point)."""
+    ctx, errors = _analyze_source(source, path, select)
+    if ctx is None:
+        return errors
     return ctx.finish()
 
 
@@ -315,11 +329,35 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
 
 
 def lint_paths(
-    paths: Sequence[str], select: Optional[Iterable[str]] = None
+    paths: Sequence[str],
+    select: Optional[Iterable[str]] = None,
+    program: bool = True,
+    callgraph_cache: Optional[str] = None,
 ) -> List[Finding]:
-    """Lint every ``.py`` file under ``paths``; findings sorted by location."""
+    """Lint every ``.py`` file under ``paths``; findings sorted by location.
+
+    With ``program`` (the default), the whole-program phase-typestate and
+    exactly-once verifiers run over the engine files among ``paths`` after
+    the per-file rules; their findings go through the same per-file
+    suppression tables (they report as JISC004/JISC009).  ``callgraph_cache``
+    names an optional JSON file reusing call-graph facts across runs.
+    """
     findings: List[Finding] = []
+    contexts: List[LintContext] = []
     for path in iter_python_files(paths):
-        findings.extend(lint_file(path, select=select))
+        with tokenize.open(path) as fh:
+            source = fh.read()
+        ctx, errors = _analyze_source(source, path, select)
+        if ctx is None:
+            findings.extend(errors)
+        else:
+            contexts.append(ctx)
+    selected = None if select is None else set(select)
+    if program and (selected is None or "JISC004" in selected):
+        from repro.lint.program import run_program_analysis
+
+        run_program_analysis(contexts, cache_path=callgraph_cache)
+    for ctx in contexts:
+        findings.extend(ctx.finish())
     findings.sort(key=Finding.sort_key)
     return findings

@@ -1,0 +1,163 @@
+"""Generic forward dataflow solver over :mod:`repro.lint.cfg` graphs.
+
+The solver is the classic worklist fixpoint: every block's *in* state is the
+join of its predecessors' *out* states; *out* is obtained by running the
+analysis' transfer function over the block's statements; blocks whose *out*
+changed requeue their successors.  Termination relies on the analysis lattice
+having finite height (all lattices used by jisclint are powersets over
+program facts).
+
+Two concrete analyses live here:
+
+* :class:`ReachingDefinitions` — which assignments of each local name (and
+  ``self.<attr>`` pseudo-name) may reach a program point.  ``self.attr``
+  attributes are tracked as the pseudo-variable ``"self.attr"``; attribute
+  writes through any *other* receiver conservatively clobber nothing (jisclint
+  only reasons about may-alias through ``self``).
+* Taint tracking for JISC008 lives in :mod:`repro.lint.flowrules`; it reuses
+  :func:`solve` with a mapping-to-frozenset lattice.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, Generic, Mapping, Tuple, TypeVar
+
+from repro.lint.cfg import CFG
+
+S = TypeVar("S")
+
+
+class ForwardAnalysis(Generic[S]):
+    """Interface a forward analysis implements for :func:`solve`."""
+
+    def initial(self) -> S:
+        """State at function entry."""
+        raise NotImplementedError
+
+    def bottom(self) -> S:
+        """Identity element for :meth:`join` (state of unreached blocks)."""
+        raise NotImplementedError
+
+    def join(self, a: S, b: S) -> S:
+        raise NotImplementedError
+
+    def transfer(self, stmt: ast.stmt, state: S) -> S:
+        raise NotImplementedError
+
+
+def solve(cfg: CFG, analysis: ForwardAnalysis[S]) -> Tuple[Dict[int, S], Dict[int, S]]:
+    """Run ``analysis`` to fixpoint over ``cfg``.
+
+    Returns ``(block_in, block_out)`` keyed by block id.  Blocks unreachable
+    from the entry keep the analysis' bottom state.
+    """
+    block_in: Dict[int, S] = {bid: analysis.bottom() for bid in cfg.blocks}
+    block_out: Dict[int, S] = {bid: analysis.bottom() for bid in cfg.blocks}
+    block_in[cfg.entry] = analysis.initial()
+
+    # Deterministic FIFO worklist seeded with *every* block (entry first):
+    # seeding only the entry would strand blocks behind a chain whose
+    # out-states never differ from bottom (identity transfers do not
+    # requeue successors).
+    worklist = [cfg.entry] + [bid for bid in sorted(cfg.blocks) if bid != cfg.entry]
+    while worklist:
+        bid = worklist.pop(0)
+        block = cfg.blocks[bid]
+        if block.preds:
+            state = analysis.bottom()
+            for pred in block.preds:
+                state = analysis.join(state, block_out[pred])
+            if bid == cfg.entry:
+                state = analysis.join(state, analysis.initial())
+            block_in[bid] = state
+        state = block_in[bid]
+        for stmt in block.stmts:
+            state = analysis.transfer(stmt, state)
+        if state != block_out[bid]:
+            block_out[bid] = state
+            for succ in block.succs:
+                if succ not in worklist:
+                    worklist.append(succ)
+    return block_in, block_out
+
+
+# ---------------------------------------------------------------------------
+# Reaching definitions
+# ---------------------------------------------------------------------------
+
+#: Reaching-definitions state: pseudo-variable -> set of defining line numbers.
+DefState = Mapping[str, FrozenSet[int]]
+
+
+def assigned_names(target: ast.expr) -> Tuple[str, ...]:
+    """Pseudo-variable names written by an assignment target.
+
+    Plain names map to themselves; ``self.x`` maps to ``"self.x"``; tuple and
+    list destructuring recurse.  Subscripts and foreign attributes define
+    nothing trackable.
+    """
+    if isinstance(target, ast.Name):
+        return (target.id,)
+    if isinstance(target, ast.Attribute):
+        if isinstance(target.value, ast.Name) and target.value.id == "self":
+            return (f"self.{target.attr}",)
+        return ()
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: Tuple[str, ...] = ()
+        for elt in target.elts:
+            out += assigned_names(elt)
+        return out
+    if isinstance(target, ast.Starred):
+        return assigned_names(target.value)
+    return ()
+
+
+class ReachingDefinitions(ForwardAnalysis[DefState]):
+    """May-reach sets of definition lines per name / ``self.attr``."""
+
+    def initial(self) -> DefState:
+        return {}
+
+    def bottom(self) -> DefState:
+        return {}
+
+    def join(self, a: DefState, b: DefState) -> DefState:
+        if not a:
+            return b
+        if not b:
+            return a
+        merged: Dict[str, FrozenSet[int]] = dict(a)
+        for name, defs in b.items():
+            merged[name] = merged.get(name, frozenset()) | defs
+        return merged
+
+    def transfer(self, stmt: ast.stmt, state: DefState) -> DefState:
+        targets: Tuple[str, ...] = ()
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                targets += assigned_names(t)
+        elif isinstance(stmt, (ast.AnnAssign, ast.AugAssign)):
+            targets = assigned_names(stmt.target)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            targets = assigned_names(stmt.target)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                if item.optional_vars is not None:
+                    targets += assigned_names(item.optional_vars)
+        if not targets:
+            return state
+        updated = dict(state)
+        line = frozenset([getattr(stmt, "lineno", 0)])
+        for name in targets:
+            if isinstance(stmt, ast.AugAssign):
+                # x += ... both reads and writes: the old defs still reach.
+                updated[name] = updated.get(name, frozenset()) | line
+            else:
+                updated[name] = line
+        return updated
+
+
+def reaching_definitions(cfg: CFG) -> Tuple[Dict[int, DefState], Dict[int, DefState]]:
+    """Convenience wrapper: solve reaching definitions over ``cfg``."""
+    return solve(cfg, ReachingDefinitions())

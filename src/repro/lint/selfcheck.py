@@ -1,0 +1,217 @@
+"""``python -m repro.lint --self-check``: prove the analyzer itself works.
+
+CI runs this before trusting a clean lint pass: a lint that silently
+stopped finding anything (broken registration, a solver that never visits
+blocks, suppressions that eat everything) looks exactly like a clean tree.
+The self-check lints embedded fixtures with *known* findings and verifies
+each rule fires where it must and stays quiet where it must not, and that
+the CFG/dataflow machinery still reaches fixpoints on representative
+shapes.  Any mismatch is an internal error (exit 2), never a finding.
+"""
+
+from __future__ import annotations
+
+import ast
+import textwrap
+from typing import List, Optional, Sequence, Tuple
+
+from repro.lint.cfg import build_cfg
+from repro.lint.core import all_rules, lint_source
+from repro.lint.dataflow import reaching_definitions
+
+#: (name, source, rule ids that MUST fire, rule ids that MUST NOT fire)
+_FIXTURES: Tuple[Tuple[str, str, Sequence[str], Sequence[str]], ...] = (
+    (
+        "JISC008 fires on set iteration feeding emit",
+        """
+        class Op:
+            def flush(self):
+                pending = {1, 2, 3}
+                for item in pending:
+                    self.emit(item)
+        """,
+        ["JISC008"],
+        [],
+    ),
+    (
+        "JISC008 respects the sorted() barrier",
+        """
+        class Op:
+            def flush(self):
+                pending = {1, 2, 3}
+                for item in sorted(pending):
+                    self.emit(item)
+        """,
+        [],
+        ["JISC008"],
+    ),
+    (
+        "JISC008 allows order-insensitive set accumulation",
+        """
+        class Op:
+            def note(self, ops):
+                seen = set()
+                for op in {o for o in ops}:
+                    seen.add(id(op))
+        """,
+        [],
+        ["JISC008"],
+    ),
+    (
+        "JISC009 fires on a WAL with no replay path",
+        """
+        class Engine:
+            def process(self, item):
+                self.wal_log.append(item)
+                self.consume(item)
+        """,
+        ["JISC009"],
+        [],
+    ),
+    (
+        "JISC009 accepts a deduplicating replay path",
+        """
+        class Engine:
+            def process(self, item):
+                self.wal_log.append(item)
+
+            def recover(self):
+                for item in self.wal_log:
+                    if item not in self._delivered_seen:
+                        self.emit(item)
+        """,
+        [],
+        ["JISC009"],
+    ),
+    (
+        "JISC010 fires on an unrestored phase span",
+        """
+        PHASE_MIGRATING = "migrating"
+
+        class Strategy:
+            def transition(self, tracer):
+                prev = tracer.set_phase(PHASE_MIGRATING)
+                self.work()
+        """,
+        ["JISC010"],
+        [],
+    ),
+    (
+        "JISC010 accepts the try/finally restore idiom",
+        """
+        PHASE_MIGRATING = "migrating"
+
+        class Strategy:
+            def transition(self, tracer):
+                prev = tracer.set_phase(PHASE_MIGRATING) if tracer.enabled else None
+                try:
+                    self.work()
+                finally:
+                    if prev is not None:
+                        tracer.set_phase(prev)
+        """,
+        [],
+        ["JISC010"],
+    ),
+    (
+        "suppression comments silence a finding",
+        """
+        class Op:
+            def flush(self):
+                pending = {1}
+                for item in pending:
+                    self.emit(item)  # jisclint: disable=JISC008
+        """,
+        [],
+        ["JISC008", "JISC000"],
+    ),
+    (
+        "unused suppressions surface as JISC000",
+        """
+        class Op:
+            def flush(self):  # jisclint: disable=JISC008
+                return None
+        """,
+        ["JISC000"],
+        [],
+    ),
+)
+
+#: fixture path inside the engine tree so engine-only rules apply
+_FIXTURE_PATH = "src/repro/_selfcheck_fixture.py"
+
+
+def _check_fixture(
+    name: str,
+    source: str,
+    must_fire: Sequence[str],
+    must_not: Sequence[str],
+) -> Optional[str]:
+    findings = lint_source(textwrap.dedent(source), path=_FIXTURE_PATH)
+    fired = {f.rule_id for f in findings}
+    for rid in must_fire:
+        if rid not in fired:
+            return f"{name}: expected {rid} to fire; got {sorted(fired) or 'none'}"
+    for rid in must_not:
+        if rid in fired:
+            hits = [f.message for f in findings if f.rule_id == rid]
+            return f"{name}: {rid} fired unexpectedly: {hits[0]}"
+    return None
+
+
+def _check_machinery() -> Optional[str]:
+    """CFG + solver sanity on a loop/try/finally shape."""
+    src = textwrap.dedent(
+        """
+        def fn(xs):
+            total = 0
+            for x in xs:
+                try:
+                    total = total + x
+                except ValueError:
+                    continue
+                finally:
+                    x = None
+            return total
+        """
+    )
+    func = ast.parse(src).body[0]
+    cfg = build_cfg(func)
+    if not cfg.blocks or cfg.entry not in cfg.blocks:
+        return "machinery: build_cfg produced no entry block"
+    block_in, _ = reaching_definitions(cfg)
+    reached = [bid for bid, state in block_in.items() if state]
+    if not reached:
+        return "machinery: reaching-definitions fixpoint never left bottom"
+    exits = cfg.exit_blocks()
+    if not exits:
+        return "machinery: CFG has no normal exit"
+    return None
+
+
+def run_self_check() -> Tuple[bool, List[str]]:
+    """Returns (ok, report lines)."""
+    lines: List[str] = []
+    ok = True
+    registry = all_rules()
+    expected = {"JISC008", "JISC009", "JISC010"}
+    missing = expected - set(registry)
+    if missing:
+        ok = False
+        lines.append(f"FAIL registry: missing rules {sorted(missing)}")
+    else:
+        lines.append(f"ok registry ({len(registry)} rules)")
+    error = _check_machinery()
+    if error:
+        ok = False
+        lines.append(f"FAIL {error}")
+    else:
+        lines.append("ok cfg/dataflow machinery")
+    for name, source, must_fire, must_not in _FIXTURES:
+        error = _check_fixture(name, source, must_fire, must_not)
+        if error:
+            ok = False
+            lines.append(f"FAIL {error}")
+        else:
+            lines.append(f"ok {name}")
+    return ok, lines

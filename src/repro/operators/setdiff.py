@@ -153,7 +153,10 @@ class SetDifference(BinaryOperator):
         released = self._suppressed_by.pop(inner_part, set())
         if not self.reappear_on_inner_expiry:
             return
-        for part in released:
+        # Sorted so re-emission order is run-independent: ``released`` is a
+        # set of (stream, seq) parts whose iteration order follows the
+        # process hash seed.
+        for part in sorted(released):
             count = self._suppress_count.get(part)
             if count is None:
                 continue

@@ -806,3 +806,633 @@ class TestBenchAnchoring:
         finally:
             if os.path.exists(expected):
                 os.remove(expected)
+
+
+# ---------------------------------------------------------------------------
+# JISC008 — determinism taint
+# ---------------------------------------------------------------------------
+
+
+class TestDeterminismTaint:
+    def test_set_iteration_into_emit_flagged(self):
+        findings = run(
+            """
+            class Op:
+                def flush(self):
+                    pending = {1, 2, 3}
+                    for item in pending:
+                        self.emit(item)
+            """
+        )
+        assert ids(findings, "JISC008")
+
+    def test_set_attr_iteration_into_state_flagged(self):
+        findings = run(
+            """
+            from typing import Set
+
+            class Op:
+                ops: Set[object]
+
+                def flush(self):
+                    for op in self.ops:
+                        self.state.remove_with_part(op)
+            """
+        )
+        assert ids(findings, "JISC008")
+
+    def test_id_value_into_emit_flagged(self):
+        findings = run(
+            """
+            class Op:
+                def flush(self, tup):
+                    tag = id(tup)
+                    self.emit((tag, tup))
+            """
+        )
+        assert ids(findings, "JISC008")
+
+    def test_sorted_barrier_clears_taint(self):
+        findings = run(
+            """
+            class Op:
+                def flush(self):
+                    pending = {1, 2, 3}
+                    for item in sorted(pending):
+                        self.emit(item)
+            """
+        )
+        assert not ids(findings, "JISC008")
+
+    def test_list_of_set_preserves_taint(self):
+        findings = run(
+            """
+            class Op:
+                def flush(self):
+                    pending = {1, 2, 3}
+                    for item in list(pending):
+                        self.emit(item)
+            """
+        )
+        assert ids(findings, "JISC008")
+
+    def test_aggregation_of_set_is_clean(self):
+        findings = run(
+            """
+            class Op:
+                def flush(self):
+                    pending = {1, 2, 3}
+                    total = sum(pending)
+                    self.emit(total)
+            """
+        )
+        assert not ids(findings, "JISC008")
+
+    def test_set_membership_and_set_add_are_clean(self):
+        # the telemetry-hub idiom: id() used only for identity dedupe
+        findings = run(
+            """
+            class Hub:
+                def attach(self, ops):
+                    seen = set()
+                    for op in ops:
+                        if id(op) in seen:
+                            continue
+                        seen.add(id(op))
+            """
+        )
+        assert not ids(findings, "JISC008")
+
+    def test_value_derived_from_tainted_loop_var_flagged(self):
+        # the setdiff shape: set iteration -> dict lookup -> state mutation
+        findings = run(
+            """
+            from typing import Dict, Set
+
+            class Op:
+                _owners: Dict[str, Set[str]]
+
+                def release(self):
+                    released = self._owners.pop("k", set())
+                    for part in released:
+                        outer = self._tuples.pop(part)
+                        if self.state.add(outer):
+                            self.emit(outer)
+            """
+        )
+        assert ids(findings, "JISC008")
+
+    def test_serializer_returning_set_derived_payload_flagged(self):
+        findings = run(
+            """
+            def checkpoint_windows(scans):
+                names = {s.name for s in scans}
+                return [n for n in names]
+            """
+        )
+        assert ids(findings, "JISC008")
+
+    def test_dict_iteration_is_ordered_and_clean(self):
+        # CPython dicts are insertion-ordered; only sets/id() taint
+        findings = run(
+            """
+            class Op:
+                def flush(self, mapping):
+                    for key, value in mapping.items():
+                        self.emit((key, value))
+            """
+        )
+        assert not ids(findings, "JISC008")
+
+    def test_outside_engine_not_flagged(self):
+        findings = run(
+            """
+            class Op:
+                def flush(self):
+                    for item in {1, 2}:
+                        self.emit(item)
+            """,
+            path="tests/example.py",
+        )
+        assert not ids(findings, "JISC008")
+
+
+class TestSeededMutation:
+    """A planted unordered-iteration bug in a copy of joins.py is caught."""
+
+    def test_mutated_join_probe_loop_caught(self, tmp_path):
+        from repro.lint import lint_file
+
+        with open("src/repro/operators/joins.py") as fh:
+            source = fh.read()
+        assert "for match in matches:" in source
+        mutated = source.replace(
+            "for match in matches:", "for match in set(matches):", 1
+        )
+        target_dir = tmp_path / "src" / "repro" / "operators"
+        target_dir.mkdir(parents=True)
+        target = target_dir / "joins.py"
+        target.write_text(mutated)
+        findings = lint_file(str(target))
+        assert ids(findings, "JISC008"), "planted set-iteration bug missed"
+
+    def test_unmutated_copy_stays_clean(self, tmp_path):
+        from repro.lint import lint_file
+
+        with open("src/repro/operators/joins.py") as fh:
+            source = fh.read()
+        target_dir = tmp_path / "src" / "repro" / "operators"
+        target_dir.mkdir(parents=True)
+        target = target_dir / "joins.py"
+        target.write_text(source)
+        findings = lint_file(str(target))
+        assert not ids(findings, "JISC008")
+
+
+# ---------------------------------------------------------------------------
+# JISC009 — exactly-once WAL discipline
+# ---------------------------------------------------------------------------
+
+
+class TestExactlyOnce:
+    def test_wal_without_replay_path_flagged(self):
+        findings = run(
+            """
+            class Engine:
+                def process(self, item):
+                    self.wal_log.append(item)
+                    self.consume(item)
+            """
+        )
+        assert ids(findings, "JISC009")
+
+    def test_replay_delivery_without_dedupe_flagged(self):
+        findings = run(
+            """
+            class Engine:
+                def process(self, item):
+                    self.wal_log.append(item)
+
+                def recover(self):
+                    for item in list(self.wal_log):
+                        self.emit(item)
+            """
+        )
+        assert ids(findings, "JISC009")
+
+    def test_dedupe_guarded_replay_ok(self):
+        findings = run(
+            """
+            class Engine:
+                def process(self, item):
+                    self.wal_log.append(item)
+
+                def recover(self):
+                    for item in list(self.wal_log):
+                        if item in self._delivered_seen:
+                            continue
+                        self.emit(item)
+            """
+        )
+        assert not ids(findings, "JISC009")
+
+    def test_muted_replay_primitive_counts_as_dedupe(self):
+        findings = run(
+            """
+            class Engine:
+                def process(self, item):
+                    self.wal_log.append(item)
+
+                def recover_from_log(self):
+                    for item in list(self.wal_log):
+                        self.worker.replay(item)
+            """
+        )
+        assert not ids(findings, "JISC009")
+
+    def test_audit_trail_logs_carry_no_obligation(self):
+        findings = run(
+            """
+            class Query:
+                def process(self, proposal):
+                    self.transition_log.append(proposal)
+            """
+        )
+        assert not ids(findings, "JISC009")
+
+    def test_wal_append_off_arrival_path_ok(self):
+        findings = run(
+            """
+            class Engine:
+                def debug_dump(self, item):
+                    self.wal_log.append(item)
+            """
+        )
+        assert not ids(findings, "JISC009")
+
+
+# ---------------------------------------------------------------------------
+# JISC010 — handle typestate
+# ---------------------------------------------------------------------------
+
+
+class TestHandleTypestate:
+    def test_unrestored_span_flagged(self):
+        findings = run(
+            """
+            PHASE_MIGRATING = "migrating"
+
+            class S:
+                def transition(self, tracer):
+                    prev = tracer.set_phase(PHASE_MIGRATING)
+                    self.work()
+            """
+        )
+        assert ids(findings, "JISC010")
+
+    def test_try_finally_restore_ok(self):
+        findings = run(
+            """
+            PHASE_MIGRATING = "migrating"
+
+            class S:
+                def transition(self, tracer):
+                    prev = tracer.set_phase(PHASE_MIGRATING)
+                    try:
+                        self.work()
+                    finally:
+                        tracer.set_phase(prev)
+            """
+        )
+        assert not ids(findings, "JISC010")
+
+    def test_guarded_conditional_span_ok(self):
+        # the engine's fast-path idiom: open only when tracing is enabled
+        findings = run(
+            """
+            PHASE_REBALANCING = "rebalancing"
+
+            class S:
+                def rebalance(self, tracer):
+                    prev = tracer.set_phase(PHASE_REBALANCING) if tracer.enabled else None
+                    try:
+                        self.work()
+                    finally:
+                        if prev is not None:
+                            tracer.set_phase(prev)
+            """
+        )
+        assert not ids(findings, "JISC010")
+
+    def test_restore_on_one_branch_only_flagged(self):
+        findings = run(
+            """
+            PHASE_MIGRATING = "migrating"
+
+            class S:
+                def transition(self, tracer, fast):
+                    prev = tracer.set_phase(PHASE_MIGRATING)
+                    if fast:
+                        tracer.set_phase(prev)
+            """
+        )
+        assert ids(findings, "JISC010")
+
+    def test_discarded_previous_phase_flagged(self):
+        findings = run(
+            """
+            PHASE_MIGRATING = "migrating"
+
+            class S:
+                def transition(self, tracer):
+                    tracer.set_phase(PHASE_MIGRATING)
+                    self.work()
+            """
+        )
+        assert ids(findings, "JISC010")
+
+    def test_escaping_session_ok(self):
+        findings = run(
+            """
+            class Exec:
+                def rebalance(self, spec):
+                    session = RebalanceSession(spec)
+                    self._session = session
+                    return session
+            """
+        )
+        assert not ids(findings, "JISC010")
+
+    def test_dropped_session_flagged(self):
+        findings = run(
+            """
+            class Exec:
+                def rebalance(self, spec):
+                    session = RebalanceSession(spec)
+                    self.log("started")
+            """
+        )
+        assert ids(findings, "JISC010")
+
+
+# ---------------------------------------------------------------------------
+# Lint-core edge cases (satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestSuppressionEdgeCases:
+    def test_suppression_on_decorated_def(self):
+        # the comment sits on the def line, below the decorators; the
+        # finding is reported at the def, so the suppression must hit
+        findings = run(
+            """
+            import functools
+
+            @functools.lru_cache
+            def f(xs=[]):  # jisclint: disable=JISC006
+                return xs
+            """
+        )
+        assert not ids(findings, "JISC006")
+        assert not ids(findings, "JISC000")
+
+    def test_suppression_inside_multiline_call_line(self):
+        findings = run(
+            """
+            import time
+
+            def f():
+                return max(
+                    time.time(),  # jisclint: disable=JISC001
+                    0.0,
+                )
+            """
+        )
+        assert not ids(findings, "JISC001")
+        assert not ids(findings, "JISC000")
+
+
+class TestBaseline:
+    def make_findings(self):
+        return run(
+            """
+            class Op:
+                def flush(self):
+                    pending = {1, 2}
+                    for item in pending:
+                        self.emit(item)
+            """
+        )
+
+    def test_baseline_roundtrip_accepts_known_findings(self):
+        from repro.lint.baseline import apply_baseline, render_baseline, load_baseline
+        import tempfile
+
+        findings = self.make_findings()
+        assert findings
+        payload = render_baseline(findings)
+        with tempfile.NamedTemporaryFile("w", suffix=".json", delete=False) as fh:
+            fh.write(payload)
+            path = fh.name
+        try:
+            baseline = load_baseline(path)
+            result = apply_baseline(findings, baseline)
+            assert not result.new
+            assert len(result.accepted) == len(findings)
+            assert not result.stale
+        finally:
+            os.remove(path)
+
+    def test_baseline_is_line_independent(self):
+        from repro.lint.baseline import apply_baseline, finding_key
+
+        findings = self.make_findings()
+        baseline = {finding_key(f): 1 for f in findings}
+        shifted = [
+            Finding(f.rule_id, f.path, f.line + 40, f.col, f.message)
+            for f in findings
+        ]
+        result = apply_baseline(shifted, baseline)
+        assert not result.new
+
+    def test_baseline_refuses_protected_trees(self):
+        from repro.lint.baseline import BaselineError, render_baseline
+        import pytest
+
+        bad = [Finding("JISC008", "src/repro/migration/base.py", 1, 1, "m")]
+        with pytest.raises(BaselineError):
+            render_baseline(bad)
+
+    def test_unused_suppression_not_maskable_by_baseline(self):
+        # JISC000 findings go through the baseline like any other finding —
+        # but baselining them is self-defeating: the entry matches on the
+        # message (which names line/rule), so once the stale comment is
+        # removed the baseline entry itself turns stale and is reported.
+        from repro.lint.baseline import apply_baseline, finding_key
+
+        findings = run(
+            """
+            def f():  # jisclint: disable=JISC008
+                return 1
+            """
+        )
+        assert ids(findings, "JISC000")
+        baseline = {finding_key(f): 1 for f in findings}
+        clean = run(
+            """
+            def f():
+                return 1
+            """
+        )
+        result = apply_baseline(clean, baseline)
+        assert not result.new
+        assert result.stale  # the baselined JISC000 entry is now dead weight
+
+
+class TestReporterStability:
+    def test_output_identical_across_hash_seeds(self, tmp_path):
+        # rule iteration, finding sort, and JSON rendering must not leak
+        # set/dict iteration order: two runs under different PYTHONHASHSEED
+        # values must emit byte-identical reports.
+        bad = tmp_path / "engine"
+        (bad / "src" / "repro" / "engine").mkdir(parents=True)
+        target = bad / "src" / "repro" / "engine" / "ex.py"
+        target.write_text(
+            textwrap.dedent(
+                """
+                import time
+
+                class Op:
+                    def flush(self):
+                        pending = {1, 2}
+                        for item in pending:
+                            self.emit(item)
+                        return time.time()
+                """
+            )
+        )
+        outputs = []
+        for seed in ("0", "12345"):
+            env = dict(os.environ, PYTHONHASHSEED=seed)
+            env["PYTHONPATH"] = os.path.abspath("src")
+            proc = subprocess.run(
+                [sys.executable, "-m", "repro.lint", "--format", "json", str(bad)],
+                capture_output=True,
+                text=True,
+                env=env,
+            )
+            assert proc.returncode == EXIT_FINDINGS
+            outputs.append(proc.stdout)
+        assert outputs[0] == outputs[1]
+
+
+class TestSarif:
+    def test_sarif_log_structure(self, tmp_path):
+        from repro.lint.reporters import render_sarif
+
+        findings = [
+            Finding("JISC008", "src/repro/engine/x.py", 3, 1, "boom"),
+        ]
+        log = json.loads(render_sarif(findings))
+        assert log["version"] == "2.1.0"
+        (sarif_run,) = log["runs"]
+        assert sarif_run["tool"]["driver"]["name"] == "jisclint"
+        rule_ids = [r["id"] for r in sarif_run["tool"]["driver"]["rules"]]
+        assert "JISC008" in rule_ids and "JISC010" in rule_ids
+        (result,) = sarif_run["results"]
+        assert result["ruleId"] == "JISC008"
+        loc = result["locations"][0]["physicalLocation"]
+        assert loc["artifactLocation"]["uri"] == "src/repro/engine/x.py"
+        assert loc["region"]["startLine"] == 3
+
+    def test_cli_writes_sarif_file(self, tmp_path):
+        clean = tmp_path / "pkg"
+        clean.mkdir()
+        (clean / "ok.py").write_text("x = 1\n")
+        out = tmp_path / "out.sarif"
+        code = main([str(clean), "--sarif", str(out)])
+        assert code == EXIT_CLEAN
+        log = json.loads(out.read_text())
+        assert log["runs"][0]["results"] == []
+
+
+class TestCliV2:
+    def test_self_check_passes(self, capsys):
+        assert main(["--self-check"]) == EXIT_CLEAN
+        assert "self-check: passed" in capsys.readouterr().out
+
+    def test_write_baseline_requires_path(self, capsys):
+        assert main(["--write-baseline"]) == EXIT_USAGE
+
+    def test_baseline_flow_end_to_end(self, tmp_path, capsys):
+        pkg = tmp_path / "src" / "repro" / "engine"
+        pkg.mkdir(parents=True)
+        (pkg / "ex.py").write_text(
+            textwrap.dedent(
+                """
+                class Op:
+                    def flush(self):
+                        pending = {1, 2}
+                        for item in pending:
+                            self.emit(item)
+                """
+            )
+        )
+        baseline = tmp_path / "base.json"
+        # 1. dirty tree fails
+        assert main([str(tmp_path)]) == EXIT_FINDINGS
+        # 2. adopt the baseline
+        assert main([str(tmp_path), "--baseline", str(baseline), "--write-baseline"]) == EXIT_CLEAN
+        # 3. same tree is now accepted
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == EXIT_CLEAN
+        # 4. a NEW finding still fails
+        (pkg / "new.py").write_text("import time\n\ndef f():\n    return time.time()\n")
+        assert main([str(tmp_path), "--baseline", str(baseline)]) == EXIT_FINDINGS
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text("{not json")
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "ok.py").write_text("x = 1\n")
+        assert main([str(pkg), "--baseline", str(baseline)]) == EXIT_USAGE
+
+    def test_protected_tree_baseline_exits_two(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": [
+                        {
+                            "rule": "JISC004",
+                            "path": "src/repro/shard/worker.py",
+                            "message": "grandfathered",
+                        }
+                    ],
+                }
+            )
+        )
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "ok.py").write_text("x = 1\n")
+        assert main([str(pkg), "--baseline", str(baseline)]) == EXIT_USAGE
+
+    def test_repo_baseline_file_is_valid_and_empty(self):
+        from repro.lint.baseline import load_baseline
+
+        assert load_baseline(".jisclint-baseline.json") == {}
+
+    def test_no_program_flag_skips_program_pass(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "ok.py").write_text("x = 1\n")
+        assert main([str(pkg), "--no-program"]) == EXIT_CLEAN
+
+    def test_callgraph_cache_created_and_reused(self, tmp_path):
+        cache = tmp_path / "cg.json"
+        assert main(["src/repro/migration", "--callgraph-cache", str(cache)]) == EXIT_CLEAN
+        assert cache.exists()
+        first = cache.read_text()
+        assert main(["src/repro/migration", "--callgraph-cache", str(cache)]) == EXIT_CLEAN
+        assert cache.read_text() == first
