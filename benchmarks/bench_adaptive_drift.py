@@ -1,0 +1,138 @@
+"""Adaptive vs forced-oracle vs never-migrate on a drifting workload.
+
+The closed-loop acceptance benchmark (docs/ADAPTIVITY.md): a two-phase
+:class:`~repro.workloads.drift.SelectivityDriftWorkload` starts with the
+initial order optimal, then moves the selective stream so the initial
+order becomes the worst one.  Three modes run the identical JISC engine:
+
+* **forced** — the oracle: a transition to the ideal order exactly at
+  the phase boundary (it knows the drift schedule);
+* **adaptive** — :class:`~repro.optimizer.adaptive.AdaptiveEngine` with
+  the hysteresis trigger and no schedule: it must *discover* the drift
+  from its own telemetry;
+* **never** — no migration, the degradation baseline.
+
+Acceptance: all three modes emit the identical output multiset (adaptive
+migration is as invisible as forced migration), the adaptive mode fires
+at least once on its own, its mean output latency lands within 10% of
+the forced oracle's, and never-migrate degrades beyond both.
+"""
+
+from collections import Counter as MultiSet
+
+from benchmarks.common import emit, once
+from repro.engine.executor import TransitionEvent
+from repro.migration.jisc import JISCStrategy
+from repro.obs.tracer import RecordingTracer
+from repro.optimizer.adaptive import AdaptiveEngine
+from repro.optimizer.triggers import HysteresisTrigger, NeverTrigger
+from repro.streams.schema import Schema
+from repro.workloads.drift import SelectivityDriftWorkload
+
+NAMES = ("S0", "S1", "S2")
+WINDOW = 32
+PHASE_1 = 600
+PHASE_2 = 1500
+SEED = 7
+
+#: Estimator extents sized to the workload: windows must be much shorter
+#: than a phase or the two phases' evidence blends and no drift shows.
+HUB_OPTIONS = {
+    "selectivity_window": 256,
+    "drift_block": 32,
+    "drift_min_samples": 96,
+}
+EVALUATE_EVERY = 32
+MIN_SAMPLES = 96
+
+
+def drift_events():
+    workload = SelectivityDriftWorkload(
+        NAMES,
+        [(PHASE_1, "S1"), (PHASE_2, "S2")],
+        base_domain=12,
+        scatter=32,
+        seed=SEED,
+    )
+    return workload.materialize()
+
+
+def run_mode(mode):
+    """One mode over the drift workload; returns its stats dict."""
+    schema = Schema.uniform(NAMES, WINDOW)
+    strategy = JISCStrategy(schema, NAMES)
+    recorder = RecordingTracer()
+    if mode == "adaptive":
+        policy = HysteresisTrigger(min_improvement=0.08, confirm=2, cooldown=256)
+    else:
+        policy = NeverTrigger()
+    engine = AdaptiveEngine(
+        strategy,
+        policy=policy,
+        evaluate_every=EVALUATE_EVERY,
+        min_samples=MIN_SAMPLES,
+        hub_options=HUB_OPTIONS,
+        inner=recorder,
+    )
+    events = list(drift_events())
+    if mode == "forced":
+        # The oracle knows the drift schedule: flip to the phase-2 ideal
+        # order exactly at the phase boundary.
+        events.insert(PHASE_1, TransitionEvent(("S0", "S2", "S1")))
+    engine.run(events)
+    latency = recorder.overall_latency()
+    ops = {op: n for op, n in sorted(strategy.metrics.counts.items())}
+    return {
+        "mode": mode,
+        "outputs": len(strategy.outputs),
+        "virtual_time": strategy.metrics.clock.now,
+        "mean_latency": latency.mean(),
+        "p95_latency": latency.percentile(95),
+        "fires": engine.fire_count,
+        "fire_ats": [d.at for d in engine.migrations],
+        "final_order": list(engine.order),
+        "evaluations": len(engine.decisions),
+        "ops": ops,
+        "lineages": MultiSet(strategy.output_lineages()),
+    }
+
+
+def run():
+    return {mode: run_mode(mode) for mode in ("forced", "adaptive", "never")}
+
+
+def payload(results):
+    """The committed BENCH payload (drops the in-memory lineage multiset)."""
+    return [
+        {k: v for k, v in stats.items() if k != "lineages"}
+        for stats in (results[m] for m in ("forced", "adaptive", "never"))
+    ]
+
+
+def test_adaptive_drift(benchmark):
+    results = once(benchmark, run)
+    lines = [
+        f"{'mode':>9} {'outputs':>8} {'fires':>6} {'mean_lat':>10} "
+        f"{'p95_lat':>10} {'virtual_time':>13} {'final_order':>16}"
+    ]
+    for mode in ("forced", "adaptive", "never"):
+        s = results[mode]
+        lines.append(
+            f"{mode:>9} {s['outputs']:>8d} {s['fires']:>6d} "
+            f"{s['mean_latency']:>10.2f} {s['p95_latency']:>10.2f} "
+            f"{s['virtual_time']:>13.1f} {'-'.join(s['final_order']):>16}"
+        )
+    emit("adaptive_drift", lines, data=payload(results))
+
+    forced, adaptive, never = (results[m] for m in ("forced", "adaptive", "never"))
+    # Adaptive migration is invisible: identical output multisets.
+    assert adaptive["lineages"] == forced["lineages"] == never["lineages"]
+    # The loop closed itself: >= 1 self-triggered migration, ending on the
+    # same order the oracle was forced to.
+    assert adaptive["fires"] >= 1
+    assert adaptive["final_order"] == forced["final_order"]
+    # Within 10% of the forced oracle's output latency...
+    assert adaptive["mean_latency"] <= 1.10 * forced["mean_latency"]
+    # ...while never-migrate pays for the stale order.
+    assert never["mean_latency"] > 1.10 * forced["mean_latency"]
+    assert never["mean_latency"] > adaptive["mean_latency"]

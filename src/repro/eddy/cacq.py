@@ -91,12 +91,19 @@ class CACQExecutor:
         count_n = metrics.count_n
         partials: List = [tup]
         for stream in self._route_for(tup.stream):
-            get_view = self.stems[stream].state.get_view
+            stem = self.stems[stream]
+            get_view = stem.state.get_view
             next_partials: List = []
             append = next_partials.append
+            hits = 0
             for partial in partials:
+                before = len(next_partials)
                 for match in get_view(partial.key):
                     append(of(partial, match))
+                if len(next_partials) > before:
+                    hits += 1
+            stem.probes += len(partials)
+            stem.hits += hits
             count_n(Counter.HASH_PROBE, len(partials))
             count_n(Counter.EDDY_VISIT, len(next_partials))
             if adaptive:

@@ -30,6 +30,12 @@ class SteM:
             raise ValueError(f"unknown window kind {window_kind!r}")
         self.state = HashState(complete=True)
         self.metrics = metrics
+        # Native probe tallies, mirroring Operator.probes/.hits: the eddy
+        # bumps them inline (two int adds) and the telemetry hub polls the
+        # deltas, giving CACQ per-stream selectivity series without any
+        # per-probe telemetry work.
+        self.probes = 0
+        self.hits = 0
 
     def insert(self, tup: StreamTuple) -> List[StreamTuple]:
         """Add an arriving tuple; returns the evicted tuples, if any.

@@ -40,6 +40,7 @@ from repro.obs.tracer import (
     EVENT_SHARD_MOVE,
     EVENT_TRANSITION_END,
     EVENT_TRANSITION_START,
+    EVENT_TRIGGER,
     Trace,
     load_trace,
 )
@@ -256,6 +257,34 @@ def render_report(trace: Trace, title: str = "") -> str:
                 f"      {row['settled']} settled / {row['retired']} retired, "
                 f"{row['tuples']} live tuple(s) replayed"
             )
+    triggers = trace.of_kind(EVENT_TRIGGER)
+    if triggers:
+        fired = [ev for ev in triggers if ev.data.get("action") == "fired"]
+        suppressed = [ev for ev in triggers if ev.data.get("action") == "suppressed"]
+        lines.append("")
+        lines.append(
+            f"adaptive trigger timeline: {len(triggers)} evaluation(s), "
+            f"{len(fired)} fired, {len(suppressed)} suppressed"
+        )
+        for ev in triggers:
+            action = ev.data.get("action", "?")
+            if action == "evaluated":
+                continue  # one line per steady-state evaluation would swamp it
+            cur = ev.data.get("current_cost", 0.0)
+            best = ev.data.get("best_cost", 0.0)
+            detail = (
+                f"  {action} ({ev.data.get('reason', '?')}) at arrival "
+                f"{ev.data.get('at', '?')}: cost {cur:.3f} -> {best:.3f}"
+            )
+            order = ev.data.get("best_order")
+            if action == "fired" and order:
+                detail += f", new order {'-'.join(order)}"
+            if action == "suppressed" and ev.data.get("migration_cost"):
+                detail += (
+                    f" (migration cost {ev.data['migration_cost']:.1f} vs projected "
+                    f"savings {ev.data.get('projected_savings', 0.0):.1f})"
+                )
+            lines.append(detail)
     checkpoints = trace.of_kind(EVENT_CHECKPOINT)
     if checkpoints:
         lines.append("")

@@ -65,6 +65,13 @@ EVENT_RECOVERY = "recovery"
 EVENT_REBALANCE_START = "rebalance_start"
 EVENT_REBALANCE_END = "rebalance_end"
 EVENT_SHARD_MOVE = "shard_move"
+EVENT_TRIGGER = "trigger"
+
+#: Trigger-decision actions (see ``repro.optimizer.triggers``): every
+#: evaluation of a transition trigger lands in a trace as one of these.
+TRIGGER_EVALUATED = "evaluated"
+TRIGGER_FIRED = "fired"
+TRIGGER_SUPPRESSED = "suppressed"
 
 
 class TraceEvent:
@@ -193,6 +200,14 @@ class Tracer:
         pass
 
     def shard_move(self, key: Any, src: int, dst: int, **data: Any) -> None:
+        pass
+
+    def trigger(self, action: str, **data: Any) -> None:
+        """One re-optimization trigger decision (evaluated/fired/suppressed).
+
+        ``data`` carries the decision's cost evidence — current vs best
+        plan cost, improvement, migration cost — so a trace explains *why*
+        a migration happened (or was held back)."""
         pass
 
 
@@ -334,6 +349,9 @@ class RecordingTracer(Tracer):
 
     def shard_move(self, key: Any, src: int, dst: int, **data: Any) -> None:
         self._record(EVENT_SHARD_MOVE, {"key": key, "src": src, "dst": dst, **data})
+
+    def trigger(self, action: str, **data: Any) -> None:
+        self._record(EVENT_TRIGGER, {"action": action, **data})
 
     # -- aggregates --------------------------------------------------------------------
 

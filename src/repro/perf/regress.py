@@ -115,6 +115,12 @@ def _payload_telemetry() -> Any:
     return identity_payload()
 
 
+def _payload_adaptive_drift() -> Any:
+    from benchmarks.bench_adaptive_drift import payload, run
+
+    return payload(run())
+
+
 #: baseline file stem -> fresh-payload builder (shapes match the benchmark
 #: tests' ``emit(..., data=...)`` calls exactly).
 FIGURES: Dict[str, Callable[[], Any]] = {
@@ -123,6 +129,7 @@ FIGURES: Dict[str, Callable[[], Any]] = {
     "fig10_latency": _payload_fig10,
     "shard_scaleout": _payload_shard_scaleout,
     "telemetry_overhead": _payload_telemetry,
+    "adaptive_drift": _payload_adaptive_drift,
 }
 
 

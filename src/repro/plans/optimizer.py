@@ -7,11 +7,24 @@ runtime-statistics heuristic the paper's Section 5.2 assumes: keep the most
 selective joins at the bottom of a left-deep plan, re-sorting by observed
 selectivity; if the re-sorted order differs from the current one, request a
 transition.
+
+There is exactly one cost model in the repo: the per-stream statistics are
+:class:`~repro.telemetry.estimators.DecayedRatio` estimators, and both the
+ordering and the accept/reject tolerance delegate to
+:mod:`repro.optimizer.cost` (:func:`anchored_best_order`,
+:func:`worst_adjacent_inversion`) — the same functions the live
+:class:`~repro.optimizer.adaptive.AdaptiveEngine` maintains its costs
+with.  This class remains the push-style façade (callers feed it probe
+counts directly); the adaptive engine is the pull-style one (the
+telemetry hub polls operator tallies).
 """
 
 from __future__ import annotations
 
 from typing import Dict, Optional, Sequence, Tuple
+
+from repro.optimizer.cost import anchored_best_order, worst_adjacent_inversion
+from repro.telemetry.estimators import DecayedRatio
 
 
 class SelectivityOptimizer:
@@ -47,28 +60,24 @@ class SelectivityOptimizer:
         # calls must pass between two accepted proposals, so fluctuating
         # selectivities cannot trigger migration storms.
         self.cooldown = cooldown
-        self._probes: Dict[str, float] = {}
-        self._matches: Dict[str, float] = {}
+        self._ratios: Dict[str, DecayedRatio] = {}
         self._observations = 0
         self._last_proposal_at: Optional[int] = None
 
     def observe(self, stream: str, probes: int, matches: int) -> None:
         """Record ``probes`` state probes against ``stream``, ``matches`` hits."""
-        if probes < 0 or matches < 0:
-            raise ValueError("probes and matches must be non-negative")
-        if self.decay < 1.0:
-            self._probes[stream] = self._probes.get(stream, 0.0) * self.decay
-            self._matches[stream] = self._matches.get(stream, 0.0) * self.decay
-        self._probes[stream] = self._probes.get(stream, 0.0) + probes
-        self._matches[stream] = self._matches.get(stream, 0.0) + matches
+        ratio = self._ratios.get(stream)
+        if ratio is None:
+            ratio = self._ratios[stream] = DecayedRatio(self.decay)
+        ratio.push(probes, matches)
         self._observations += 1
 
     def selectivity(self, stream: str) -> Optional[float]:
         """Observed match rate for ``stream`` (``None`` until min_probes)."""
-        probes = self._probes.get(stream, 0)
-        if probes < self.min_probes:
+        ratio = self._ratios.get(stream)
+        if ratio is None or ratio.probes < self.min_probes:
             return None
-        return self._matches.get(stream, 0) / probes
+        return ratio.ratio()
 
     def propose(self, current: Sequence[str]) -> Optional[Tuple[str, ...]]:
         """Return a better left-deep order, or ``None`` to keep ``current``.
@@ -85,23 +94,18 @@ class SelectivityOptimizer:
             and self._observations - self._last_proposal_at < self.cooldown
         ):
             return None
-        rest = list(current[1:])
-        sels = {}
-        for name in rest:
+        sels: Dict[str, float] = {}
+        for name in current[1:]:
             sel = self.selectivity(name)
             if sel is None:
                 return None  # not enough evidence yet
             sels[name] = sel
-        proposed = tuple([current[0]] + sorted(rest, key=lambda n: sels[n]))
+        proposed = anchored_best_order(current, sels)
         if proposed == tuple(current):
             return None
         # Only migrate when the ordering error is material: compare the
         # selectivity inversions against the tolerance.
-        worst_gap = 0.0
-        for a, b in zip(current[1:], current[2:]):
-            gap = sels[a] - sels[b]
-            worst_gap = max(worst_gap, gap)
-        if worst_gap <= self.tolerance:
+        if worst_adjacent_inversion(current, sels) <= self.tolerance:
             return None
         self._last_proposal_at = self._observations
         return proposed

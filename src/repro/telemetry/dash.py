@@ -127,6 +127,25 @@ def render_frame(telemetry: ShardTelemetry, processed: int, total: int) -> str:
         f"outputs: {len(executor.outputs)} merged; "
         f"drift events: {drifts}; virtual makespan: {executor.makespan():.1f}"
     )
+    evaluations = sum(
+        i.value for i in registry.with_name("optimizer_trigger_evaluations_total")
+    )
+    if evaluations:
+        # An adaptive loop is attached: show its decision tallies and the
+        # live cost gap it is watching (docs/ADAPTIVITY.md).
+        fires = sum(i.value for i in registry.with_name("optimizer_trigger_fires_total"))
+        suppressed = sum(
+            i.value for i in registry.with_name("optimizer_trigger_suppressions_total")
+        )
+        costs = [
+            (i.value for i in registry.with_name(name))
+            for name in ("optimizer_cost_current", "optimizer_cost_best")
+        ]
+        current, best = (max(values, default=0.0) for values in costs)
+        lines.append(
+            f"adaptive: {evaluations} evaluations, {fires} fired, "
+            f"{suppressed} suppressed; cost current={current:.3f} best={best:.3f}"
+        )
     lines.append("")
     header = (
         f"{'shard':>5}  {'phase':<11} {'arrivals':>8} {'outputs':>8} "

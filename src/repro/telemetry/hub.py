@@ -207,6 +207,14 @@ class TelemetryTracer(Tracer):
         self._keys_retired_total: Counter
         self._keys_settled_total: Counter
         self._moved_tuples_total: Counter
+        # Optimizer-trigger series follow the same lazy pattern: only hubs
+        # driven by an adaptive engine ever see a trigger decision.
+        self._trigger_series_ready = False
+        self._trigger_evaluations: Counter
+        self._trigger_fires: Counter
+        self._trigger_suppressions: Counter
+        self._trigger_cost_current: Gauge
+        self._trigger_cost_best: Gauge
 
     # -- wiring -----------------------------------------------------------------------
 
@@ -258,6 +266,16 @@ class TelemetryTracer(Tracer):
                     continue
                 seen.add(id(op))
                 sources.append([op, _operator_label(op), None, op.probes, op.hits])
+        # Eddy strategies (CACQ) have no physical plans — their SteMs
+        # carry the same native probes/hits tallies, labeled per stream.
+        stems = getattr(strategy, "stems", None)
+        if stems:
+            for stream in sorted(stems):
+                stem = stems[stream]
+                if id(stem) in seen:
+                    continue
+                seen.add(id(stem))
+                sources.append([stem, stem.stream, None, stem.probes, stem.hits])
         self._probe_sources = sources
 
     def _poll_probes(self) -> None:
@@ -377,6 +395,16 @@ class TelemetryTracer(Tracer):
         if self._inner is not None:
             self._inner.output(tup, when)
 
+    def poll(self) -> None:
+        """Drain the hot-path accumulators now, off-cadence.
+
+        The adaptive cost maintainer (:mod:`repro.optimizer`) calls this
+        before reading :meth:`selectivity_sample` so trigger decisions see
+        every probe tallied so far, not just up to the last 64-arrival
+        poll boundary.  Idempotent and cheap when nothing is outstanding.
+        """
+        self._poll()
+
     def _poll(self) -> None:
         """Periodic drain: sketch buffer, rate samples, probe tallies."""
         buf = self._key_buf
@@ -442,6 +470,35 @@ class TelemetryTracer(Tracer):
         self._recoveries_total.inc()
         if self._inner is not None:
             self._inner.recovery(what, **data)
+
+    def _register_trigger_series(self) -> None:
+        """Resolve the optimizer-trigger instruments (first decision)."""
+        if self._trigger_series_ready:
+            return
+        reg = self.registry
+        labels = self._labels
+        self._trigger_evaluations = reg.counter("optimizer_trigger_evaluations_total", **labels)
+        self._trigger_fires = reg.counter("optimizer_trigger_fires_total", **labels)
+        self._trigger_suppressions = reg.counter("optimizer_trigger_suppressions_total", **labels)
+        self._trigger_cost_current = reg.gauge("optimizer_cost_current", **labels)
+        self._trigger_cost_best = reg.gauge("optimizer_cost_best", **labels)
+        self._trigger_series_ready = True
+
+    def trigger(self, action: str, **data: Any) -> None:
+        self._register_trigger_series()
+        self._trigger_evaluations.inc()
+        if action == "fired":
+            self._trigger_fires.inc()
+        elif action == "suppressed":
+            self._trigger_suppressions.inc()
+        cost = data.get("current_cost")
+        if cost is not None:
+            self._trigger_cost_current.set(cost)
+        cost = data.get("best_cost")
+        if cost is not None:
+            self._trigger_cost_best.set(cost)
+        if self._inner is not None:
+            self._inner.trigger(action, **data)
 
     def _register_shard_series(self) -> None:
         """Resolve the shard-rebalance instruments (first shard event)."""
@@ -556,6 +613,20 @@ class TelemetryTracer(Tracer):
     def selectivity_of(self, operator_label: str) -> Optional[float]:
         entry = self._sel.get(operator_label)
         return entry[0].estimate() if entry is not None else None
+
+    def selectivity_sample(self, operator_label: str) -> Optional[Tuple[int, float]]:
+        """``(windowed probe count, estimate)`` of one series, or None.
+
+        The probe count is the weight the cost maintainer uses to
+        aggregate the same operator's series across shard hubs.
+        """
+        entry = self._sel.get(operator_label)
+        if entry is None:
+            return None
+        estimate = entry[0].estimate()
+        if estimate is None:
+            return None
+        return entry[0].count, estimate
 
     def drifted(self, operator_label: Optional[str] = None) -> bool:
         """Latched drift flag of one operator (or any, when omitted)."""

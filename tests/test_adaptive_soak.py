@@ -1,0 +1,112 @@
+"""Fault × adaptivity: crashes mid-adaptive-migration stay exactly-once.
+
+Pytest face of ``python -m repro.optimizer.soak`` (the CI faults job runs
+the CLI across its seed matrix; these tests pin the same contract in the
+tier-1 suite at one seed, plus the restart-state reconstruction pieces
+the CLI only exercises implicitly).
+"""
+
+import pytest
+
+from repro.faults.plan import CRASH_POINTS, CrashFault, FaultInjector, FaultPlan
+from repro.optimizer.soak import (
+    AdaptiveRecoveryDriver,
+    _fresh_driver,
+    soak_one_seed,
+    soak_workload,
+    trigger_state_from_log,
+)
+
+
+def test_soak_certification_seed_zero():
+    """The full certification for one seed: every crash point delivers the
+    oracle's outputs exactly once with the oracle's fire schedule."""
+    assert soak_one_seed(0) == []
+
+
+def test_oracle_run_fires_and_journals_the_migration():
+    schema, order, events = soak_workload()
+    driver = _fresh_driver(schema, order)
+    delivered = driver.run(events)
+    assert driver.fires, "drift workload must provoke >= 1 adaptive fire"
+    assert len(delivered) == len(set(delivered))
+    # The fired migration is in the WAL (journal-then-apply) ...
+    restored = trigger_state_from_log(driver.manager.store.log())
+    assert restored["order"] == list(driver.order)
+    assert restored["last_fired_at"] == driver.fires[-1].at
+    # ... and the driver's own view agrees.
+    state = driver.trigger_state()
+    assert state["order"] == list(driver.order)
+    assert state["policy"]["last_fired_at"] == driver.fires[-1].at
+
+
+@pytest.mark.parametrize("where", CRASH_POINTS)
+def test_crashed_run_matches_oracle(where):
+    schema, order, events = soak_workload()
+    oracle = _fresh_driver(schema, order)
+    oracle_delivered = oracle.run(events)
+    first_fire = oracle.fires[0].at
+
+    plan = FaultPlan(crashes=(CrashFault(at_arrival=first_fire + 1, where=where),))
+    driver = _fresh_driver(schema, order, injector=FaultInjector(plan))
+    delivered = driver.run(events)
+
+    assert driver.manager.recoveries == 1
+    assert sorted(delivered) == sorted(oracle_delivered)
+    assert len(delivered) == len(set(delivered))
+    assert [d.at for d in driver.fires] == [d.at for d in oracle.fires]
+
+
+def test_restart_restores_trigger_state_no_double_fire():
+    """A fresh driver over a crashed store resumes with the journaled
+    migration applied and the cooldown clock running — replay must never
+    re-decide, so the fire count stays exactly the oracle's."""
+    schema, order, events = soak_workload()
+    oracle = _fresh_driver(schema, order)
+    oracle.run(events)
+    first_fire = oracle.fires[0].at
+
+    plan = FaultPlan(
+        crashes=(CrashFault(at_arrival=first_fire + 1, where=CRASH_POINTS[0]),)
+    )
+    driver = _fresh_driver(schema, order, injector=FaultInjector(plan))
+    driver.run(events)
+
+    resumed = _fresh_driver(schema, order, store=driver.manager.store)
+    state = resumed.trigger_state()
+    assert state["arrivals"] == driver.arrivals
+    assert state["order"] == list(driver.order)
+    assert state["policy"]["last_fired_at"] == driver.fires[-1].at
+    # A warmed cooldown clock means the very next evaluation cannot
+    # re-fire the journaled migration.
+    assert resumed.policy.state_to_json()["streak"] == 0
+
+
+def test_trigger_state_from_empty_log():
+    assert trigger_state_from_log([]) == {
+        "arrivals": 0,
+        "order": None,
+        "last_fired_at": None,
+    }
+
+
+def test_driver_evaluations_never_run_during_replay():
+    """Replay happens inside offer(); decisions only accrue from the
+    driver's own cadence, so a crashed run evaluates exactly as often as
+    the oracle (same arrivals, same evaluate_every)."""
+    schema, order, events = soak_workload()
+    oracle = _fresh_driver(schema, order)
+    oracle.run(events)
+    first_fire = oracle.fires[0].at
+    plan = FaultPlan(
+        crashes=(CrashFault(at_arrival=first_fire + 1, where=CRASH_POINTS[1]),)
+    )
+    driver = _fresh_driver(schema, order, injector=FaultInjector(plan))
+    driver.run(events)
+    assert len(driver.decisions) == len(oracle.decisions)
+
+
+def test_driver_type_is_exported():
+    from repro.optimizer import AdaptiveRecoveryDriver as lazy
+
+    assert lazy is AdaptiveRecoveryDriver

@@ -16,15 +16,19 @@ from collections import Counter as MultiSet
 import pytest
 
 from repro.engine.executor import TransitionEvent
+from repro.optimizer.adaptive import AdaptiveEngine
+from repro.optimizer.triggers import HysteresisTrigger
 from repro.shard import (
     RebalanceEvent,
     ShardedExecutor,
     balanced_assignment,
     skewed_assignment,
 )
+from repro.shard.worker import make_strategy
 from repro.streams.schema import Schema
 from repro.streams.tuples import StreamTuple
 from repro.testing.naive import NaiveJoinOracle
+from repro.workloads.drift import SelectivityDriftWorkload
 
 NAMES = ("A", "B", "C")
 STRATEGIES = ("jisc", "moving_state", "parallel_track", "stairs", "cacq")
@@ -130,3 +134,79 @@ def test_sharding_is_invisible_relative_to_single_engine(strategy):
         assert MultiSet(ex.output_lineages()) == reference, (
             f"{strategy} with {num_shards} shards diverged from single-engine"
         )
+
+
+# ---------------------------------------------------------------------------
+# Adaptive-mode rows: strategy x drift workload x {single-engine, 2-shard}.
+#
+# No schedule is supplied: the AdaptiveEngine must discover the drift from
+# its own telemetry and fire a JISC migration by itself — and the output
+# must STILL be exactly the oracle's.  Adaptivity, like sharding and
+# migration, must be invisible in the output.
+
+# Two drift workloads: the selective stream moves B->C (initial order
+# (A,B,C) starts optimal, degrades) and C->B (starts suboptimal, so the
+# trigger fires early, then fires back after the flip).
+DRIFT_WORKLOADS = {
+    "drift_bc": SelectivityDriftWorkload(
+        NAMES, [(140, "B"), (280, "C")], base_domain=6, scatter=24, seed=201
+    ),
+    "drift_cb": SelectivityDriftWorkload(
+        NAMES, [(140, "C"), (280, "B")], base_domain=6, scatter=24, seed=202
+    ),
+}
+
+#: Estimator extents sized to the 420-tuple workloads (windows must be
+#: much shorter than a phase, or the phases' evidence blends).
+ADAPTIVE_HUB_OPTIONS = {
+    "selectivity_window": 96,
+    "drift_block": 16,
+    "drift_min_samples": 32,
+}
+
+_DRIFT_ORACLE_CACHE = {}
+
+
+def drift_oracle_multiset(workload_name):
+    if workload_name not in _DRIFT_ORACLE_CACHE:
+        oracle = NaiveJoinOracle(SCHEMA, NAMES)
+        for tup in DRIFT_WORKLOADS[workload_name].materialize():
+            oracle.process(tup)
+        _DRIFT_ORACLE_CACHE[workload_name] = MultiSet(oracle.output_lineages())
+    return _DRIFT_ORACLE_CACHE[workload_name]
+
+
+def adaptive_engine_over(target):
+    return AdaptiveEngine(
+        target,
+        policy=HysteresisTrigger(min_improvement=0.08, confirm=2, cooldown=64),
+        evaluate_every=16,
+        min_samples=32,
+        hub_options=ADAPTIVE_HUB_OPTIONS,
+    )
+
+
+@pytest.mark.parametrize("topology", ["single", "2shard"])
+@pytest.mark.parametrize("workload_name", sorted(DRIFT_WORKLOADS))
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_adaptive_output_matches_oracle(strategy, workload_name, topology):
+    expected = drift_oracle_multiset(workload_name)
+    if topology == "single":
+        target = make_strategy(strategy, SCHEMA, NAMES)
+    else:
+        target = ShardedExecutor(SCHEMA, NAMES, num_shards=2, strategy=strategy)
+    engine = adaptive_engine_over(target)
+    engine.run(DRIFT_WORKLOADS[workload_name].materialize())
+    lineages = engine.output_lineages()
+    got = MultiSet(tuple(sorted(lineage)) for lineage in lineages)
+    assert got == expected, (
+        f"{strategy}/{workload_name}/{topology}: "
+        f"missing={dict(list((expected - got).items())[:3])} "
+        f"spurious={dict(list((got - expected).items())[:3])}"
+    )
+    assert len(lineages) == len(set(lineages))
+    # The loop actually closed: at least one self-triggered migration.
+    assert engine.fire_count >= 1, (
+        f"{strategy}/{workload_name}/{topology}: no adaptive migration fired "
+        f"(decisions: {[(d.at, d.action, d.reason) for d in engine.decisions[-6:]]})"
+    )

@@ -112,3 +112,34 @@ def test_cli_reports_bad_inputs_cleanly(tmp_path, capsys):
     garbage.write_text("not json at all\n")
     assert main([str(garbage)]) == 1
     assert "not a JSONL trace" in capsys.readouterr().err
+
+
+def test_render_report_trigger_timeline():
+    # Adaptive trigger events flow through the same tracer seam; the
+    # report must show fired/suppressed decisions with their cost gap.
+    tracer = RecordingTracer()
+    tracer.trigger("evaluated", reason="warming_up", at=64)
+    tracer.trigger(
+        "fired",
+        reason="hysteresis",
+        at=128,
+        current_cost=1.8,
+        best_cost=1.2,
+        best_order=["A", "C", "B"],
+    )
+    tracer.trigger(
+        "suppressed",
+        reason="migration_cost",
+        at=192,
+        current_cost=1.7,
+        best_cost=1.3,
+        migration_cost=500.0,
+        projected_savings=120.0,
+    )
+    text = render_report(tracer.as_trace())
+    assert "adaptive trigger timeline: 3 evaluation(s), 1 fired, 1 suppressed" in text
+    assert "fired (hysteresis) at arrival 128" in text
+    assert "new order A-C-B" in text
+    assert "migration cost 500.0 vs projected savings 120.0" in text
+    # Steady-state evaluations are summarized, not itemized.
+    assert "warming_up" not in text

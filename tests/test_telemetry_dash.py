@@ -102,3 +102,29 @@ class TestCli:
         empty = tmp_path / "empty.jsonl"
         empty.write_text("")
         assert _run_diff([str(empty)]) == 2
+
+
+class TestAdaptiveLine:
+    def test_frame_shows_trigger_tallies_when_loop_attached(self):
+        from repro.optimizer import AdaptiveEngine
+        from repro.optimizer.triggers import NeverTrigger
+        from repro.shard import ShardedExecutor
+        from repro.telemetry.dash import render_frame
+
+        schema, events = demo_events(shards=2, tuples=400, window=48, seed=0)
+        ex = ShardedExecutor(schema, schema.names, num_shards=2, strategy="jisc")
+        engine = AdaptiveEngine(
+            ex,
+            policy=NeverTrigger(),
+            evaluate_every=64,
+            hub_options={"selectivity_window": 96, "drift_block": 16},
+        )
+        engine.run(events)
+        frame = render_frame(engine.telemetry, 400, 400)
+        assert "adaptive:" in frame
+        assert f"{len(engine.decisions)} evaluations, 0 fired" in frame
+
+    def test_frame_has_no_adaptive_line_without_a_loop(self):
+        frames = list(run_dashboard(shards=2, tuples=200, window=48, seed=0, once=True))
+        frame, _ = frames[0]
+        assert "adaptive:" not in frame

@@ -240,3 +240,130 @@ class TestSelectivityDriftDetector:
         assert estimate == 1.0
         assert smoothed == 1.0
         assert drifts == 0 and flag is False
+
+
+class TestEstimatorEdgeCases:
+    """Edge-case backfill for the adaptive loop's inputs (docs/ADAPTIVITY.md):
+    empty windows, block-boundary weighted updates, and poll deltas that
+    outrun the window."""
+
+    def test_empty_window_selectivity_is_none_not_zero(self):
+        # The cost maintainer treats None as "not ready", never as sel=0 —
+        # a zero here would make any plan look free and fire the trigger.
+        det = SelectivityDriftDetector(window=50, block=8)
+        assert det.estimate() is None
+        assert det.lifetime() is None
+        assert det.smoothed() is None
+        assert det.count == 0
+
+    def test_partial_block_counts_in_estimate_before_first_flush(self):
+        det = SelectivityDriftDetector(window=50, block=8)
+        det.observe(True)
+        det.observe(False)
+        # Two observations, no completed block: the estimate must already
+        # reflect them (the trigger may evaluate mid-block).
+        assert det.count == 2
+        assert det.estimate() == pytest.approx(0.5)
+        assert det.smoothed() is None  # EWMA/PH only see completed blocks
+
+    def test_push_block_flush_exactly_at_block_boundary(self):
+        # Batches accumulating to exactly `block` must flush once, with
+        # the pending partial reset to zero — not carry a stale remainder.
+        det = SelectivityDriftDetector(window=100, block=10)
+        det.push_block(4, 2)
+        det.push_block(6, 3)  # lands exactly on the boundary
+        assert det._cur_n == 0 and det._cur_h == 0
+        assert det._win_n == 10 and det._win_h == 5
+        assert det.estimate() == pytest.approx(0.5)
+        # The EWMA saw exactly one block mean.
+        assert det.ewma.count == 1
+
+    def test_weighted_block_update_advances_ph_count_by_weight(self):
+        # min_samples keeps its per-underlying-sample meaning: one block
+        # of 16 advances the warm-up as far as 16 single observations.
+        blocked = PageHinkley(delta=0.005, threshold=5.0, min_samples=32)
+        single = PageHinkley(delta=0.005, threshold=5.0, min_samples=32)
+        blocked.update(0.5, weight=16.0)
+        for _ in range(16):
+            single.update(0.5)
+        assert blocked.count == single.count == 16
+        assert blocked.mean == pytest.approx(single.mean)
+
+    def test_ph_block_boundary_straddling_shift_still_fires(self):
+        # A mean shift landing mid-block (the block mean blends both
+        # regimes) must still fire once the post-shift blocks accumulate.
+        rng = random.Random(8)
+        ph = PageHinkley(delta=0.01, threshold=8.0, min_samples=64)
+        fired = False
+        for i in range(64):
+            # shift at observation 500, i.e. inside block 31 (16 per block)
+            outcomes = [
+                1.0 if rng.random() < (0.6 if 16 * i + j < 500 else 0.15) else 0.0
+                for j in range(16)
+            ]
+            fired = ph.update(sum(outcomes) / 16, 16.0) or fired
+        assert fired
+
+    def test_windowed_ratio_burst_larger_than_window(self):
+        # Probes arriving faster than the poll interval: one poll's delta
+        # exceeds the whole window.  The ring must retain exactly the last
+        # `window` outcomes and the estimate must match them.
+        est = WindowedRatio(window=10)
+        for i in range(100):
+            est.observe(i >= 95)  # burst ends with 5 hits
+        assert est.count == 10
+        assert est.estimate() == pytest.approx(0.5)
+        assert est.total == 100 and est.total_hits == 5
+
+    def test_drift_detector_single_delta_larger_than_window(self):
+        # push_block with one delta bigger than the window (probes faster
+        # than the poll cadence): the oversized block is retained whole —
+        # the estimate covers it — and later normal blocks evict it.
+        det = SelectivityDriftDetector(window=64, block=16)
+        det.push_block(200, 50)
+        assert det.count == 200
+        assert det.estimate() == pytest.approx(0.25)
+        for _ in range(4):
+            det.push_block(16, 16)
+        # Four full-window blocks later the oversized one is gone.
+        assert det.count == 64
+        assert det.estimate() == pytest.approx(1.0)
+
+
+class TestDecayedRatio:
+    def test_empty_ratio_is_none(self):
+        from repro.telemetry import DecayedRatio
+
+        assert DecayedRatio().ratio() is None
+
+    def test_decay_one_is_lifetime_ratio(self):
+        from repro.telemetry import DecayedRatio
+
+        est = DecayedRatio(decay=1.0)
+        est.push(10, 5)
+        est.push(10, 1)
+        assert est.ratio() == pytest.approx(6 / 20)
+
+    def test_decay_tracks_drift_faster_than_lifetime(self):
+        from repro.telemetry import DecayedRatio
+
+        fast = DecayedRatio(decay=0.5)
+        life = DecayedRatio(decay=1.0)
+        for _ in range(20):
+            fast.push(10, 9)
+            life.push(10, 9)
+        for _ in range(5):
+            fast.push(10, 1)
+            life.push(10, 1)
+        assert fast.ratio() < 0.2  # decayed: dominated by the new regime
+        assert life.ratio() > 0.5  # lifetime: still anchored to the old
+
+    def test_validation(self):
+        from repro.telemetry import DecayedRatio
+
+        with pytest.raises(ValueError):
+            DecayedRatio(decay=0.0)
+        with pytest.raises(ValueError):
+            DecayedRatio(decay=1.5)
+        with pytest.raises(ValueError):
+            DecayedRatio().push(-1, 0)

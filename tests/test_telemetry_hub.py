@@ -251,3 +251,72 @@ class TestShardTelemetry:
         telemetry.sync()
         assert telemetry.registry is reg
         assert len(reg) > 0
+
+
+class TestOptimizerFacingSurface:
+    """The hooks the adaptive loop consumes: off-cadence poll(), weighted
+    selectivity samples, and the optimizer_trigger_* series."""
+
+    def test_poll_makes_pending_probes_visible(self):
+        scenario = small_scenario()
+        hub = TelemetryTracer(strategy="jisc")
+        engine = STRATEGIES["jisc"](scenario.schema, scenario.order, join="hash")
+        hub.attach(engine)
+        # Fewer arrivals than the 64-arrival poll cadence: nothing polled.
+        for tup in scenario.tuples[:50]:
+            engine.process(tup)
+        before = sum(e[0].total for e in hub._sel.values())
+        hub.poll()
+        after = sum(e[0].total for e in hub._sel.values())
+        assert after > before
+        # Idempotent: a second poll with no new probes changes nothing.
+        hub.poll()
+        assert sum(e[0].total for e in hub._sel.values()) == after
+
+    def test_selectivity_sample_weight_and_estimate(self):
+        scenario = small_scenario()
+        hub = TelemetryTracer(strategy="jisc")
+        run_engine(scenario, tracer=hub)
+        hub.poll()
+        sample = hub.selectivity_sample("S0")
+        assert sample is not None
+        count, estimate = sample
+        assert count > 0 and 0.0 <= estimate <= 1.0
+        assert estimate == pytest.approx(hub.selectivities()["S0"])
+        assert hub.selectivity_sample("no-such-operator") is None
+
+    def test_trigger_events_publish_counters_and_gauges(self):
+        inner = RecordingTracer()
+        hub = TelemetryTracer(strategy="jisc", inner=inner)
+        hub.trigger("evaluated", reason="warming_up")
+        hub.trigger("fired", reason="hysteresis", current_cost=3.0, best_cost=2.0)
+        hub.trigger("suppressed", reason="cooldown", current_cost=3.5, best_cost=2.5)
+        reg = hub.registry
+        assert reg.get("optimizer_trigger_evaluations_total", strategy="jisc").value == 3
+        assert reg.get("optimizer_trigger_fires_total", strategy="jisc").value == 1
+        assert reg.get("optimizer_trigger_suppressions_total", strategy="jisc").value == 1
+        assert reg.get("optimizer_cost_current", strategy="jisc").value == 3.5
+        assert reg.get("optimizer_cost_best", strategy="jisc").value == 2.5
+        # ... and the decision stream reaches the inner trace.
+        triggers = [e for e in inner.events if e.kind == "trigger"]
+        assert [e.data["action"] for e in triggers] == [
+            "evaluated",
+            "fired",
+            "suppressed",
+        ]
+
+    def test_cacq_stems_get_selectivity_series(self):
+        # SteMs carry native probes/hits tallies now; the hub must poll
+        # them like plan operators so CACQ runs are adaptable too.
+        from repro.shard.worker import make_strategy
+
+        scenario = small_scenario()
+        hub = TelemetryTracer(strategy="cacq")
+        engine = make_strategy("cacq", scenario.schema, scenario.order)
+        hub.attach(engine)
+        for tup in scenario.tuples:
+            engine.process(tup)
+        hub.poll()
+        sels = hub.selectivities()
+        assert set(scenario.order) <= set(sels)
+        assert any(v is not None for v in sels.values())
