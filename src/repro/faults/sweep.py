@@ -25,6 +25,8 @@ from __future__ import annotations
 
 import argparse
 import os
+import random
+from collections import Counter
 from typing import Callable, List, Optional, Sequence, Tuple, cast
 
 from repro.engine.executor import Event, run_events
@@ -207,6 +209,133 @@ def fault_soak(
     return len(seeds), failures
 
 
+# -- crashes during a fluid rebalance ----------------------------------------------
+
+#: (label, shards before the resize, shards after) for ``--during-rebalance``.
+REBALANCE_SHAPES: Tuple[Tuple[str, int, int], ...] = (
+    ("2to4", 2, 4),
+    ("4to2", 4, 2),
+)
+
+_SHARD_STREAMS = ("A", "B", "C")
+
+
+def _sharded_workload(
+    n: int, n_keys: int, window: int, seed: int
+) -> Tuple["Schema", List[StreamTuple]]:
+    from repro.streams.schema import Schema
+
+    rng = random.Random(seed)
+    schema = Schema.uniform(_SHARD_STREAMS, window)
+    seqs = {name: 0 for name in _SHARD_STREAMS}
+    tuples = []
+    for _ in range(n):
+        stream = rng.choice(_SHARD_STREAMS)
+        tuples.append(StreamTuple(stream, seqs[stream], rng.randrange(n_keys)))
+        seqs[stream] += 1
+    return schema, tuples
+
+
+def rebalance_crash_sweep(
+    strategy: str,
+    mode: str,
+    n_from: int,
+    n_to: int,
+    batch_keys: int,
+    n_tuples: int = 48,
+    resize_at: int = 20,
+    seed: int = 5,
+) -> Tuple[int, List[str]]:
+    """Crash each shard at each arrival inside an in-flight resize plan.
+
+    Every run resizes ``n_from``→``n_to`` mid-stream through a fluid plan
+    of ``batch_keys``-key batches, crashes and recovers one shard at one
+    arrival index inside the plan window, and must (a) certify the
+    distributed-state invariants right after recovery — key locality is
+    judged against the batch-by-batch routing table, so a key whose batch
+    has not settled still counts at its old owner — (b) finish with the
+    same routing table and (c) the same output multiset as the crash-free
+    baseline.
+    """
+    from repro.shard import ShardedExecutor
+
+    schema, tuples = _sharded_workload(n_tuples, n_keys=8, window=10, seed=seed)
+    checker = InvariantChecker(schema, _SHARD_STREAMS)
+    label_base = f"{strategy}/{mode}/resize-{n_from}to{n_to}/bk={batch_keys}"
+
+    def fresh() -> "ShardedExecutor":
+        return ShardedExecutor(
+            schema, _SHARD_STREAMS, num_shards=n_from, strategy=strategy,
+            inter_arrival=2.0,
+        )
+
+    # Crash-free baseline: final outputs, routing table, and the arrival
+    # index where the plan drained (bounds the crash window).
+    ex = fresh()
+    plan_end = n_tuples - 1
+    for i, tup in enumerate(tuples):
+        if i == resize_at:
+            ex.resize(n_to, mode, batch_keys=batch_keys)
+        ex.process(tup)
+        if i >= resize_at and plan_end == n_tuples - 1 and not ex.rebalance_in_progress:
+            plan_end = i
+    ex.drain_rebalance()
+    baseline = Counter(ex.output_lineages())
+    final_table = ex.partitioner.assignment
+
+    failures: List[str] = []
+    runs = 0
+    shards = max(n_from, n_to)
+    for index in range(resize_at, min(plan_end + 2, n_tuples)):
+        for shard in range(shards):
+            label = f"{label_base}/crash@{index}/shard={shard}"
+            runs += 1
+            ex = fresh()
+            for i, tup in enumerate(tuples):
+                if i == resize_at:
+                    ex.resize(n_to, mode, batch_keys=batch_keys)
+                ex.process(tup)
+                if i == index:
+                    if shard >= len(ex.workers) or ex.workers[shard] is None:
+                        break  # retired (or never spawned) at this point
+                    ex.crash_and_recover(shard)
+                    try:
+                        checker.certify_sharded(ex, tuples[: i + 1], context=label)
+                    except InvariantViolation as exc:
+                        failures.append(f"{exc} (mid-plan)")
+                        break
+            else:
+                ex.drain_rebalance()
+                if ex.partitioner.assignment != final_table:
+                    failures.append(f"{label}: final routing table differs")
+                    continue
+                if Counter(ex.output_lineages()) != baseline:
+                    failures.append(
+                        f"{label}: delivered output differs from crash-free run"
+                    )
+                    continue
+                try:
+                    checker.certify_sharded(ex, tuples, context=label)
+                except InvariantViolation as exc:
+                    failures.append(str(exc))
+    return runs, failures
+
+
+def run_rebalance_family(args: argparse.Namespace) -> Tuple[int, List[str]]:
+    """The full ``--during-rebalance`` matrix; returns (runs, failures)."""
+    total = 0
+    failures: List[str] = []
+    for strategy in ("jisc", "moving_state"):
+        for mode in ("lazy", "eager"):
+            for _label, n_from, n_to in REBALANCE_SHAPES:
+                runs, fails = rebalance_crash_sweep(
+                    strategy, mode, n_from, n_to, batch_keys=2
+                )
+                total += runs
+                failures.extend(fails)
+    return total, failures
+
+
 def build_workload(args: argparse.Namespace) -> Tuple[ChainScenario, List[Event]]:
     scenario = chain_scenario(
         n_joins=args.streams - 1,
@@ -267,6 +396,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--soak-reorders", type=int, default=2)
     parser.add_argument("--soak-corruptions", type=int, default=1)
     parser.add_argument(
+        "--during-rebalance",
+        action="store_true",
+        help="also crash each shard at each arrival inside an in-flight "
+        "fluid resize plan (2→4 and 4→2, lazy and eager)",
+    )
+    parser.add_argument(
         "--trace", default=None, metavar="DIR", help="export failing runs' JSONL traces"
     )
     args = parser.parse_args(argv)
@@ -301,6 +436,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             status = "OK" if not failures else f"{len(failures)} FAILED"
             print(f"soak  {name}: {runs} seeded run(s): {status}")
             all_failures.extend(failures)
+
+    if args.during_rebalance:
+        runs, failures = run_rebalance_family(args)
+        status = "OK" if not failures else f"{len(failures)} FAILED"
+        print(f"rebalance-crash family: {runs} crash run(s): {status}")
+        all_failures.extend(failures)
 
     for line in all_failures:
         print(f"FAIL {line}")

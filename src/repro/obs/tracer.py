@@ -64,6 +64,8 @@ EVENT_FAULT = "fault"
 EVENT_RECOVERY = "recovery"
 EVENT_REBALANCE_START = "rebalance_start"
 EVENT_REBALANCE_END = "rebalance_end"
+EVENT_REBALANCE_BATCH_START = "rebalance_batch_start"
+EVENT_REBALANCE_BATCH_END = "rebalance_batch_end"
 EVENT_SHARD_MOVE = "shard_move"
 EVENT_TRIGGER = "trigger"
 
@@ -197,6 +199,14 @@ class Tracer:
         pass
 
     def rebalance_end(self, mode: str, **data: Any) -> None:
+        pass
+
+    def rebalance_batch_start(self, index: int, total: int, **data: Any) -> None:
+        """One batch of a fluid rebalance plan opened (assignment flipped)."""
+        pass
+
+    def rebalance_batch_end(self, index: int, total: int, **data: Any) -> None:
+        """The open batch's last key settled or retired."""
         pass
 
     def shard_move(self, key: Any, src: int, dst: int, **data: Any) -> None:
@@ -346,6 +356,12 @@ class RecordingTracer(Tracer):
 
     def rebalance_end(self, mode: str, **data: Any) -> None:
         self._record(EVENT_REBALANCE_END, {"mode": mode, **data})
+
+    def rebalance_batch_start(self, index: int, total: int, **data: Any) -> None:
+        self._record(EVENT_REBALANCE_BATCH_START, {"index": index, "total": total, **data})
+
+    def rebalance_batch_end(self, index: int, total: int, **data: Any) -> None:
+        self._record(EVENT_REBALANCE_BATCH_END, {"index": index, "total": total, **data})
 
     def shard_move(self, key: Any, src: int, dst: int, **data: Any) -> None:
         self._record(EVENT_SHARD_MOVE, {"key": key, "src": src, "dst": dst, **data})

@@ -35,11 +35,14 @@ from repro.optimizer.cost import (
 )
 from repro.optimizer.triggers import (
     HysteresisTrigger,
+    RebalanceDecision,
+    ShardImbalanceTrigger,
     TriggerDecision,
     TriggerPolicy,
 )
 from repro.plans.spec import left_deep_order
-from repro.shard.executor import RebalanceEvent
+from repro.shard.executor import RebalanceEvent, ResizeEvent
+from repro.shard.partition import weighted_assignment
 from repro.telemetry.hub import ShardTelemetry, TelemetryTracer
 
 #: Default trigger-evaluation cadence, in arrivals.  Aligned with the
@@ -87,6 +90,12 @@ class AdaptiveEngine:
     min_samples:
         Windowed probe evidence required per stream before the policy
         sees ``ready`` snapshots (see :class:`PlanCostMaintainer`).
+    rebalance_policy:
+        Optional :class:`ShardImbalanceTrigger` (sharded targets only):
+        evaluated at the same cadence over per-shard arrival loads; a
+        fire becomes a hot-key-sketch-weighted
+        :meth:`~repro.shard.executor.ShardedExecutor.fluid_rebalance` at
+        the policy's granularity.
     hub_options:
         Extra keyword options for hubs this engine creates (estimator
         windows, drift parameters — see :class:`TelemetryTracer`).
@@ -101,6 +110,7 @@ class AdaptiveEngine:
         telemetry: Optional[Any] = None,
         min_samples: int = MIN_SAMPLES,
         registry: Optional[Any] = None,
+        rebalance_policy: Optional[ShardImbalanceTrigger] = None,
         hub_options: Optional[Dict[str, Any]] = None,
         inner: Optional[Any] = None,
     ):
@@ -138,6 +148,12 @@ class AdaptiveEngine:
         self.arrivals = 0
         self.decisions: List[TriggerDecision] = []
         self.migrations: List[TriggerDecision] = []
+        if rebalance_policy is not None and not self.sharded:
+            raise ValueError("rebalance_policy requires a sharded target")
+        self.rebalance_policy = rebalance_policy
+        self.rebalance_decisions: List[RebalanceDecision] = []
+        self.rebalance_fires: List[RebalanceDecision] = []
+        self._load_base: Dict[int, int] = {}
         self._until_eval = evaluate_every
 
     # -- plumbing --------------------------------------------------------------------
@@ -175,7 +191,16 @@ class AdaptiveEngine:
             if isinstance(event, TransitionEvent):
                 self.transition(event.new_spec)
             elif isinstance(event, RebalanceEvent):
-                self.target.rebalance(event.assignment, event.mode)
+                if event.batch_keys is None:
+                    self.target.rebalance(event.assignment, event.mode)
+                else:
+                    self.target.fluid_rebalance(
+                        event.assignment, event.mode, batch_keys=event.batch_keys
+                    )
+            elif isinstance(event, ResizeEvent):
+                self.target.resize(
+                    event.n_shards, event.mode, batch_keys=event.batch_keys
+                )
             else:
                 self.process(event)
         return self
@@ -217,7 +242,67 @@ class AdaptiveEngine:
             self.order = decision.best_order
             self.maintainer.set_order(decision.best_order)
             self.migrations.append(decision)
+        if self.rebalance_policy is not None:
+            self._evaluate_rebalance()
         return decision
+
+    def _evaluate_rebalance(self) -> Optional[RebalanceDecision]:
+        """The placement half of the loop: shard loads -> fluid rebalance.
+
+        Per-shard load is each worker hub's arrival count over the last
+        evaluation window.  A fire builds a hot-key-weighted target from
+        the union of the worker sketches and starts a fluid plan at the
+        policy's granularity — never a stop-the-world rebalance.  While a
+        plan is still draining the policy is not consulted (one active
+        plan at a time; the executor would reject a second anyway).
+        """
+        policy = self.rebalance_policy
+        target = self.target
+        if policy is None or target.rebalance_in_progress:
+            return None
+        hubs = self.telemetry.workers
+        shards = sorted(hubs)
+        loads = [
+            float(hubs[s].arrivals_seen - self._load_base.get(s, 0)) for s in shards
+        ]
+        decision = policy.decide(loads, at=self.arrivals)
+        for s in shards:
+            self._load_base[s] = hubs[s].arrivals_seen
+        self.rebalance_decisions.append(decision)
+        self._decision_hub().trigger(
+            decision.action,
+            kind="rebalance",
+            policy=policy.name,
+            reason=decision.reason,
+            at=decision.at,
+            shard_loads=list(decision.shard_loads),
+            imbalance=decision.imbalance,
+            batch_keys=decision.batch_keys,
+        )
+        if decision.fired:
+            assignment = weighted_assignment(
+                target.partitioner.num_buckets,
+                target.num_shards,
+                self._bucket_weights(),
+            )
+            target.fluid_rebalance(
+                assignment, policy.mode, batch_keys=policy.batch_keys
+            )
+            self.rebalance_fires.append(decision)
+        return decision
+
+    def _bucket_weights(self) -> Dict[int, float]:
+        """Per-bucket load evidence from the union of worker hot-key sketches."""
+        weights: Dict[int, float] = {}
+        partitioner = self.target.partitioner
+        hubs = self.telemetry.workers
+        for shard in sorted(hubs):
+            hub = hubs[shard]
+            hub.poll()
+            for key, count, _err in hub.topk.top(len(hub.topk)):
+                bucket = partitioner.bucket_of(key)
+                weights[bucket] = weights.get(bucket, 0.0) + float(count)
+        return weights
 
     # -- trigger-state durability (fault soak) ----------------------------------------
 

@@ -31,8 +31,8 @@ policy                    fires when
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass
-from typing import Any, Dict, Optional, Protocol, Tuple, runtime_checkable
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Protocol, Sequence, Tuple, runtime_checkable
 
 from repro.obs.tracer import TRIGGER_EVALUATED, TRIGGER_FIRED, TRIGGER_SUPPRESSED
 from repro.optimizer.cost import CostSnapshot
@@ -293,6 +293,128 @@ class CostAwareTrigger:
         return self._inner.last_fired_at
 
 
+@dataclass(frozen=True)
+class RebalanceDecision:
+    """One shard-rebalance trigger evaluation, with its load evidence."""
+
+    action: str  # TRIGGER_EVALUATED | TRIGGER_FIRED | TRIGGER_SUPPRESSED
+    reason: str
+    at: int
+    shard_loads: Tuple[float, ...] = ()
+    imbalance: float = 0.0
+    batch_keys: int = 0
+    mode: Optional[str] = None
+    hot_keys: Tuple[Any, ...] = field(default=())
+
+    @property
+    def fired(self) -> bool:
+        return self.action == TRIGGER_FIRED
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "action": self.action,
+            "reason": self.reason,
+            "at": self.at,
+            "shard_loads": list(self.shard_loads),
+            "imbalance": self.imbalance,
+            "batch_keys": self.batch_keys,
+            "mode": self.mode,
+            "hot_keys": list(self.hot_keys),
+        }
+
+    def to_jsonl(self) -> str:
+        """Canonical byte representation (sorted keys) for determinism checks."""
+        return json.dumps(self.to_json(), sort_keys=True, default=str)
+
+
+class ShardImbalanceTrigger:
+    """Fluid-rebalance trigger over per-shard load and hot-key evidence.
+
+    The sharded analogue of :class:`HysteresisTrigger`: where the plan
+    triggers watch *selectivity* drift, this one watches *placement*
+    drift — the per-shard arrival shares the coordinator's hot-key
+    sketches summarize.  It fires when the hottest shard's share of
+    recent arrivals exceeds ``max_imbalance`` times its fair share for
+    ``confirm`` consecutive evaluations (with a post-fire ``cooldown``,
+    same flap-damping invariant as the plan triggers).  A fire is meant
+    to become a :meth:`~repro.shard.executor.ShardedExecutor.fluid_rebalance`
+    toward a sketch-weighted target (see
+    :func:`~repro.shard.partition.weighted_assignment`), at this policy's
+    ``batch_keys`` granularity — migration stays off the latency path
+    even when the optimizer itself requests it.
+    """
+
+    name = "shard_imbalance"
+
+    def __init__(
+        self,
+        max_imbalance: float = 1.5,
+        confirm: int = 2,
+        cooldown: int = 512,
+        batch_keys: int = 4,
+        mode: Optional[str] = None,
+        min_load: float = 32.0,
+    ):
+        if max_imbalance < 1.0:
+            raise ValueError("max_imbalance must be at least 1.0 (fair share)")
+        if confirm < 1:
+            raise ValueError("confirm must be at least 1")
+        if cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if min_load < 0:
+            raise ValueError("min_load must be non-negative")
+        self.max_imbalance = max_imbalance
+        self.confirm = confirm
+        self.cooldown = cooldown
+        self.batch_keys = batch_keys
+        self.mode = mode
+        self.min_load = min_load
+        self.streak = 0
+        self.last_fired_at: Optional[int] = None
+
+    def _decision(
+        self, action: str, reason: str, at: int, loads: Sequence[float], imbalance: float
+    ) -> RebalanceDecision:
+        return RebalanceDecision(
+            action=action,
+            reason=reason,
+            at=at,
+            shard_loads=tuple(float(x) for x in loads),
+            imbalance=imbalance,
+            batch_keys=self.batch_keys,
+            mode=self.mode,
+        )
+
+    def decide(self, loads: Sequence[float], at: int) -> RebalanceDecision:
+        """Evaluate once against per-shard recent-arrival loads."""
+        total = float(sum(loads))
+        n = len(loads)
+        if n < 2 or total < self.min_load:
+            self.streak = 0
+            return self._decision(TRIGGER_EVALUATED, "warming_up", at, loads, 0.0)
+        fair = total / n
+        imbalance = max(loads) / fair if fair > 0 else 0.0
+        if imbalance <= self.max_imbalance:
+            self.streak = 0
+            return self._decision(TRIGGER_EVALUATED, "balanced", at, loads, imbalance)
+        self.streak += 1
+        if self.streak < self.confirm:
+            return self._decision(TRIGGER_EVALUATED, "confirming", at, loads, imbalance)
+        if self.last_fired_at is not None and at - self.last_fired_at < self.cooldown:
+            return self._decision(TRIGGER_SUPPRESSED, "cooldown", at, loads, imbalance)
+        self.streak = 0
+        self.last_fired_at = at
+        return self._decision(TRIGGER_FIRED, "shard_imbalance", at, loads, imbalance)
+
+    def state_to_json(self) -> Dict[str, Any]:
+        return {"streak": self.streak, "last_fired_at": self.last_fired_at}
+
+    def restore_state(self, state: Dict[str, Any]) -> None:
+        self.streak = int(state.get("streak", 0))
+        last = state.get("last_fired_at")
+        self.last_fired_at = int(last) if last is not None else None
+
+
 #: Registry of trigger policy constructors by name (CLI / bench wiring).
 POLICIES = {
     "never": NeverTrigger,
@@ -300,6 +422,22 @@ POLICIES = {
     "hysteresis": HysteresisTrigger,
     "cost_aware": CostAwareTrigger,
 }
+
+#: Shard-rebalance trigger policies (a separate protocol: they consume
+#: per-shard loads, not plan-cost snapshots).
+REBALANCE_POLICIES = {
+    "shard_imbalance": ShardImbalanceTrigger,
+}
+
+
+def make_rebalance_policy(name: str, **options: Any) -> ShardImbalanceTrigger:
+    try:
+        ctor = REBALANCE_POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown rebalance policy {name!r}; known: {sorted(REBALANCE_POLICIES)}"
+        ) from None
+    return ctor(**options)
 
 
 def make_policy(name: str, **options: Any) -> TriggerPolicy:

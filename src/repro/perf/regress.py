@@ -109,6 +109,12 @@ def _payload_shard_scaleout() -> Any:
     return run()
 
 
+def _payload_fluid_rebalance() -> Any:
+    from benchmarks.bench_fluid_rebalance import run
+
+    return run()
+
+
 def _payload_telemetry() -> Any:
     from repro.perf.telemetry_gate import identity_payload
 
@@ -128,6 +134,7 @@ FIGURES: Dict[str, Callable[[], Any]] = {
     "fig7_migration_best": _payload_fig7,
     "fig10_latency": _payload_fig10,
     "shard_scaleout": _payload_shard_scaleout,
+    "fluid_rebalance": _payload_fluid_rebalance,
     "telemetry_overhead": _payload_telemetry,
     "adaptive_drift": _payload_adaptive_drift,
 }

@@ -8,15 +8,26 @@ state lazily, on the key's first post-rebalance arrival.  See
 docs/SHARDING.md for the design and its correctness argument.
 """
 
-from repro.shard.executor import RebalanceEvent, ShardedExecutor
+from repro.shard.executor import (
+    RebalanceEvent,
+    RebalanceScheduler,
+    ResizeEvent,
+    ShardedExecutor,
+)
 from repro.shard.merge import MergedOutput, ShardMerger
 from repro.shard.partition import (
     HashPartitioner,
     balanced_assignment,
     skewed_assignment,
     stable_hash,
+    weighted_assignment,
 )
-from repro.shard.rebalance import RebalanceSession, ShardMove, plan_key_routes
+from repro.shard.rebalance import (
+    FluidRebalancePlan,
+    RebalanceSession,
+    ShardMove,
+    plan_key_routes,
+)
 from repro.shard.worker import (
     STRATEGY_NAMES,
     ShardWorker,
@@ -25,10 +36,13 @@ from repro.shard.worker import (
 )
 
 __all__ = [
+    "FluidRebalancePlan",
     "HashPartitioner",
     "MergedOutput",
     "RebalanceEvent",
+    "RebalanceScheduler",
     "RebalanceSession",
+    "ResizeEvent",
     "STRATEGY_NAMES",
     "ShardMerger",
     "ShardMove",
@@ -40,4 +54,5 @@ __all__ = [
     "skewed_assignment",
     "stable_hash",
     "unbounded_schema",
+    "weighted_assignment",
 ]

@@ -43,8 +43,9 @@ from repro.engine.executor import TransitionEvent
 from repro.engine.metrics import Metrics, work_units
 from repro.obs.tracer import PHASE_REBALANCING, PHASE_RECOVERING
 from repro.shard.merge import MergedOutput, ShardMerger
-from repro.shard.partition import HashPartitioner, stable_hash
+from repro.shard.partition import HashPartitioner, balanced_assignment, stable_hash
 from repro.shard.rebalance import (
+    FluidRebalancePlan,
     RebalanceSession,
     ShardMove,
     plan_key_routes,
@@ -64,19 +65,208 @@ GlobalWindow = Union[SlidingWindow, TimeSlidingWindow]
 
 
 class RebalanceEvent:
-    """A scheduled shard rebalance, interleavable with arrivals."""
+    """A scheduled shard rebalance, interleavable with arrivals.
 
-    __slots__ = ("assignment", "mode")
+    ``batch_keys`` selects the migration shape: ``None`` (default) runs
+    the classic single-session :meth:`ShardedExecutor.rebalance`; an int
+    runs a fluid plan at that granularity (``0`` = all-at-once through
+    the scheduler, ``1`` = per-key, ``n`` = batch-of-n).
+    """
 
-    def __init__(self, assignment: Mapping[int, int], mode: Optional[str] = None):
+    __slots__ = ("assignment", "mode", "batch_keys")
+
+    def __init__(
+        self,
+        assignment: Mapping[int, int],
+        mode: Optional[str] = None,
+        batch_keys: Optional[int] = None,
+    ):
         self.assignment = dict(assignment)
         self.mode = mode
+        self.batch_keys = batch_keys
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"RebalanceEvent(mode={self.mode!r}, buckets={len(self.assignment)})"
+        return (
+            f"RebalanceEvent(mode={self.mode!r}, buckets={len(self.assignment)}, "
+            f"batch_keys={self.batch_keys!r})"
+        )
 
 
-ShardEvent = Union[StreamTuple, TransitionEvent, RebalanceEvent]
+class ResizeEvent:
+    """A scheduled N -> M shard scale-out / scale-in, as a fluid plan."""
+
+    __slots__ = ("n_shards", "mode", "batch_keys")
+
+    def __init__(
+        self, n_shards: int, mode: Optional[str] = None, batch_keys: int = 0
+    ):
+        self.n_shards = n_shards
+        self.mode = mode
+        self.batch_keys = batch_keys
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"ResizeEvent(n_shards={self.n_shards}, mode={self.mode!r}, "
+            f"batch_keys={self.batch_keys})"
+        )
+
+
+ShardEvent = Union[StreamTuple, TransitionEvent, RebalanceEvent, ResizeEvent]
+
+
+class RebalanceScheduler:
+    """Drives one :class:`FluidRebalancePlan` batch-by-batch.
+
+    The scheduler owns the plan's progress: it opens at most one batch
+    per arrival (so an eager batch's replay burst is paced by the batch
+    size — Megaphone's latency bound), and a batch must fully settle or
+    retire before the next one opens, so at most one batch is ever in
+    ``PHASE_REBALANCING``.  Lazy batches drain just-in-time through the
+    executor's normal arrival/expiry paths; :meth:`drain` force-settles
+    everything for callers that need the plan finished *now*.
+    """
+
+    __slots__ = (
+        "executor",
+        "plan",
+        "next_index",
+        "session",
+        "routed",
+        "_opened_at",
+        "_resize_to",
+    )
+
+    def __init__(
+        self,
+        executor: "ShardedExecutor",
+        plan: FluidRebalancePlan,
+        resize_to: Optional[int] = None,
+    ):
+        self.executor = executor
+        self.plan = plan
+        self.next_index = 0
+        self.session: Optional[RebalanceSession] = None
+        self.routed = 0
+        self._opened_at = plan.started_at
+        self._resize_to = resize_to
+
+    # -- queries -----------------------------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self.session is not None or self.next_index < self.plan.total_batches
+
+    def batches_remaining(self) -> int:
+        """Batches not yet fully settled (the telemetry gauge)."""
+        remaining = self.plan.total_batches - self.next_index
+        if self.session is not None:
+            remaining += 1
+        return remaining
+
+    def owns(self, session: RebalanceSession) -> bool:
+        return session is self.session
+
+    # -- progress ----------------------------------------------------------------------
+
+    def on_arrival(self, t: float) -> None:
+        """Called once per arrival: open the next batch if the previous
+        one has settled.  Never opens more than one batch per arrival."""
+        if self.session is None:
+            self.open_next(t)
+
+    def open_next(self, t: float) -> None:
+        """Flip the next batch's buckets and start its session."""
+        if self.session is not None or self.next_index >= self.plan.total_batches:
+            return
+        ex = self.executor
+        index = self.next_index
+        batch = self.plan.batch(index)
+        dst_of = {bucket: dst for bucket, _, dst in batch}
+        live_by_bucket: Dict[int, List[Any]] = {}
+        for key in ex._live_by_key:
+            bucket = ex.partitioner.bucket_of(key)
+            if bucket in dst_of:
+                live_by_bucket.setdefault(bucket, []).append(key)
+        routes = plan_key_routes(list(batch), live_by_bucket)
+        table = ex.partitioner.snapshot()
+        for bucket, dst in dst_of.items():
+            table[bucket] = dst
+        ex.partitioner.apply(table)
+        self.routed += len(routes)
+        self._opened_at = t
+        marker = {
+            "index": index,
+            "total": self.plan.total_batches,
+            "buckets": sorted(dst_of),
+            "keys": len(routes),
+        }
+        for shard in sorted({s for _, s, _ in batch} | set(dst_of.values())):
+            ex._logs[shard].append(("batch", dict(marker), t))
+        tracer = ex.metrics.tracer
+        if tracer.enabled:
+            tracer.rebalance_batch_start(
+                index,
+                self.plan.total_batches,
+                mode=self.plan.mode,
+                buckets=len(batch),
+                keys=len(routes),
+            )
+        session = RebalanceSession(self.plan.mode, routes, started_at=t)
+        self.session = session
+        ex._session = session
+        if not routes:
+            ex._end_session(session, t)
+        elif self.plan.mode == "eager":
+            for key in ex._ordered(routes):
+                ex._complete_key(session, key, t)
+
+    def on_batch_complete(self, session: RebalanceSession, t: float) -> None:
+        """The open batch drained (settled and/or retired every key)."""
+        ex = self.executor
+        index = self.next_index
+        tracer = ex.metrics.tracer
+        if tracer.enabled:
+            tracer.rebalance_batch_end(
+                index,
+                self.plan.total_batches,
+                mode=self.plan.mode,
+                keys=len(session.routes),
+                duration=max(0.0, t - self._opened_at),
+            )
+        self.session = None
+        self.next_index = index + 1
+        if self.next_index >= self.plan.total_batches:
+            self._finish(t)
+
+    def drain(self, t: float) -> None:
+        """Force-complete the whole plan (every remaining batch, eagerly)."""
+        guard = 0
+        while self.active:
+            session = self.session
+            if session is None:
+                self.open_next(t)
+            else:
+                for key in self.executor._ordered(session.pending):
+                    self.executor._complete_key(session, key, t)
+            guard += 1
+            if guard > 2 * self.plan.total_batches + 2:  # pragma: no cover
+                raise RuntimeError("fluid plan failed to drain")
+
+    def _finish(self, t: float) -> None:
+        ex = self.executor
+        if ex._scheduler is self:
+            ex._scheduler = None
+        tracer = ex.metrics.tracer
+        if tracer.enabled:
+            tracer.rebalance_end(
+                self.plan.mode,
+                keys=self.routed,
+                batches=self.plan.total_batches,
+                batch_keys=self.plan.batch_keys,
+                started_at=self.plan.started_at,
+            )
+        if self._resize_to is not None:
+            ex._retire_shards(self._resize_to, t)
 
 
 class ShardedExecutor:
@@ -126,12 +316,15 @@ class ShardedExecutor:
             )
         self._live_by_key: Dict[Any, List[StreamTuple]] = {}
         self._session: Optional[RebalanceSession] = None
+        self._scheduler: Optional[RebalanceScheduler] = None
+        self._current_spec: Optional["SpecLike"] = None
         self.moves: List[ShardMove] = []
         self.rebalances = 0
         self._arrivals = 0
         self._arrival_T: Dict[Tuple[str, int], float] = {}
         self._logs: List[List[LogEntry]] = [[] for _ in range(num_shards)]
         self._crashed: Set[int] = set()
+        self._retired: Set[int] = set()
         self._merger = ShardMerger()
         #: Optional live-telemetry hub (set by ShardTelemetry); recovery
         #: notifies it so rebuilt workers re-register their series.
@@ -155,6 +348,8 @@ class ShardedExecutor:
     def _worker(self, shard: int) -> ShardWorker:
         worker = self.workers[shard]
         if worker is None:
+            if shard in self._retired:
+                raise RuntimeError(f"shard {shard} was retired by a scale-in")
             raise RuntimeError(f"shard {shard} is crashed; recover it first")
         return worker
 
@@ -195,6 +390,24 @@ class ShardedExecutor:
     def session(self) -> Optional[RebalanceSession]:
         return self._session
 
+    @property
+    def scheduler(self) -> Optional[RebalanceScheduler]:
+        """The active fluid plan's driver, or ``None`` outside a plan."""
+        return self._scheduler
+
+    @property
+    def rebalance_in_progress(self) -> bool:
+        """True while a fluid plan or a classic session is still pending."""
+        if self._scheduler is not None and self._scheduler.active:
+            return True
+        session = self._session
+        return session is not None and not session.complete
+
+    @property
+    def retired_shards(self) -> Set[int]:
+        """Shards drained and dropped by a scale-in (distinct from crashed)."""
+        return set(self._retired)
+
     def pending_keys(self) -> Set[Any]:
         session = self._session
         return set(session.pending) if session is not None else set()
@@ -216,6 +429,9 @@ class ShardedExecutor:
             tracer.arrival(tup)
         for old in self._windows[tup.stream].push_all(tup):
             self._deliver_eviction(old, t)
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.on_arrival(t)
         key = tup.key
         session = self._session
         if session is not None and session.is_pending(key):
@@ -238,11 +454,13 @@ class ShardedExecutor:
         tracer = self.metrics.tracer
         if tracer.enabled:
             tracer.transition_start(self.name, self._arrivals)
-        for shard in range(self.num_shards):
-            worker = self._worker(shard)
+        for shard, worker in enumerate(self.workers):
+            if worker is None:  # retired by scale-in; crashed is excluded above
+                continue
             worker.catch_up(t)
             worker.transition(new_spec)
             self._logs[shard].append(("transition", new_spec, t))
+        self._current_spec = new_spec
         if tracer.enabled:
             tracer.transition_end(self.name, self._arrivals)
 
@@ -252,7 +470,14 @@ class ShardedExecutor:
             if isinstance(event, TransitionEvent):
                 self.transition(event.new_spec)
             elif isinstance(event, RebalanceEvent):
-                self.rebalance(event.assignment, event.mode)
+                if event.batch_keys is None:
+                    self.rebalance(event.assignment, event.mode)
+                else:
+                    self.fluid_rebalance(
+                        event.assignment, event.mode, batch_keys=event.batch_keys
+                    )
+            elif isinstance(event, ResizeEvent):
+                self.resize(event.n_shards, event.mode, batch_keys=event.batch_keys)
             else:
                 self.process(event)
         return self
@@ -286,19 +511,33 @@ class ShardedExecutor:
             if tracer.enabled:
                 tracer.shard_move(key, src, dst, tuples=0, retired=True)
             if session.retire(key):
-                self._end_session(session)
+                self._end_session(session, t)
 
     # -- rebalancing -------------------------------------------------------------------
+
+    def _reject_overlapping_plan(self, what: str) -> None:
+        scheduler = self._scheduler
+        if scheduler is not None and scheduler.active:
+            raise RuntimeError(
+                f"cannot {what}: a fluid rebalance plan is still active "
+                f"(batch {scheduler.next_index + 1}/{scheduler.plan.total_batches}); "
+                f"one active plan at a time — let it drain or call "
+                f"scheduler.drain() first"
+            )
 
     def rebalance(
         self, assignment: Mapping[int, int], mode: Optional[str] = None
     ) -> RebalanceSession:
         """Adopt a new bucket assignment; move key state per ``mode``."""
         self._check_live()
+        self._reject_overlapping_plan("rebalance")
         if mode is None:
             mode = self.rebalance_mode
         t = self._now()
-        # Drain any still-pending session first: routes must not stack.
+        # Drain any still-pending single session first: routes must not
+        # stack.  (Overlap with a *fluid plan* is rejected above instead —
+        # the scheduler owns multi-batch interleaving; this force-drain
+        # stays reachable for plain back-to-back single-session callers.)
         previous = self._session
         if previous is not None:
             for key in self._ordered(previous.pending):
@@ -316,11 +555,169 @@ class ShardedExecutor:
         session = RebalanceSession(mode, routes, started_at=t)
         self._session = session
         if not routes:
-            self._end_session(session)
+            self._end_session(session, t)
         elif mode == "eager":
             for key in self._ordered(routes):
                 self._complete_key(session, key, t)
         return session
+
+    def fluid_rebalance(
+        self,
+        assignment: Mapping[int, int],
+        mode: Optional[str] = None,
+        batch_keys: int = 1,
+        _resize_to: Optional[int] = None,
+    ) -> FluidRebalancePlan:
+        """Adopt a new assignment through a granularity-bounded fluid plan.
+
+        The diff is decomposed into batches of at most ``batch_keys``
+        live keys (``0`` = all-at-once; buckets stay atomic) and drained
+        one batch at a time, interleaved with arrivals — so an eager
+        plan's worst per-arrival stall is one batch's replay, not the
+        whole reconfiguration (Megaphone's fluid migration), and a lazy
+        plan bounds how many keys are simultaneously pending.  The first
+        batch opens immediately; each later batch opens on the first
+        arrival after its predecessor settles.  Exactly one plan may be
+        active at a time.
+        """
+        self._check_live()
+        self._reject_overlapping_plan("start a fluid rebalance")
+        if mode is None:
+            mode = self.rebalance_mode
+        t = self._now()
+        # A still-pending *single* session force-drains, same as rebalance().
+        previous = self._session
+        if previous is not None:
+            for key in self._ordered(previous.pending):
+                self._complete_key(previous, key, t)
+        moved = self.partitioner.moves_to(assignment)
+        live_per_bucket: Dict[int, int] = {}
+        for key in self._live_by_key:
+            bucket = self.partitioner.bucket_of(key)
+            live_per_bucket[bucket] = live_per_bucket.get(bucket, 0) + 1
+        plan = FluidRebalancePlan.build(
+            moved, live_per_bucket, assignment, mode, batch_keys, t
+        )
+        tracer = self.metrics.tracer
+        if tracer.enabled:
+            data: Dict[str, Any] = {
+                "buckets": len(moved),
+                "batches": plan.total_batches,
+                "batch_keys": plan.batch_keys,
+                "fluid": True,
+            }
+            if _resize_to is not None:
+                data["resize_to"] = _resize_to
+            tracer.rebalance_start(mode, **data)
+        self.rebalances += 1
+        scheduler = RebalanceScheduler(self, plan, resize_to=_resize_to)
+        self._scheduler = scheduler
+        if plan.total_batches == 0:
+            # Nothing moves; adopt the target directly and finish the plan.
+            self.partitioner.apply(assignment)
+            scheduler._finish(t)
+        else:
+            scheduler.open_next(t)
+        return plan
+
+    def resize(
+        self,
+        n_shards: int,
+        mode: Optional[str] = None,
+        batch_keys: int = 0,
+    ) -> FluidRebalancePlan:
+        """Scale the worker pool to ``n_shards`` mid-stream.
+
+        Scale-out spins up fresh workers (brought to the current plan
+        spec) and routes buckets onto them; scale-in drains the retiring
+        shards' buckets onto the survivors and retires the workers once
+        the plan's last batch settles.  Either direction is an ordinary
+        fluid plan toward the round-robin table over the new pool, so
+        granularity, lazy/eager completion, per-batch journaling, and
+        crash recovery all apply mid-resize.
+        """
+        self._check_live()
+        self._reject_overlapping_plan("resize")
+        if n_shards <= 0:
+            raise ValueError(f"n_shards must be positive, got {n_shards}")
+        old = self.num_shards
+        if n_shards == old:
+            raise ValueError(f"already at {n_shards} shard(s)")
+        target = balanced_assignment(self.partitioner.num_buckets, n_shards)
+        if n_shards > old:
+            t = self._now()
+            for shard in range(old, n_shards):
+                self._spawn_worker(shard, t)
+            self.partitioner.grow(n_shards)
+            return self.fluid_rebalance(target, mode, batch_keys=batch_keys)
+        # Scale-in: keep the retiring workers live while their buckets
+        # drain; the scheduler retires them when the plan completes.
+        return self.fluid_rebalance(
+            target, mode, batch_keys=batch_keys, _resize_to=n_shards
+        )
+
+    def drain_rebalance(self) -> None:
+        """Force-complete any in-flight fluid plan or classic session.
+
+        A lazy plan normally drains through arrivals (just-in-time
+        settles plus expiries); call this to finish it at the current
+        clock when the stream has ended — e.g. before comparing final
+        routing tables across runs.
+        """
+        self._check_live()
+        t = self._now()
+        scheduler = self._scheduler
+        if scheduler is not None:
+            scheduler.drain(t)
+            return
+        session = self._session
+        if session is not None and not session.complete:
+            for key in self._ordered(session.pending):
+                self._complete_key(session, key, t)
+
+    def _spawn_worker(self, shard: int, t: float) -> None:
+        """Create (or re-create) the worker for a scale-out shard."""
+        worker = ShardWorker(shard, self._fresh_strategy())
+        if shard < len(self.workers):
+            if self.workers[shard] is not None:
+                raise RuntimeError(f"shard {shard} is already live")
+            # Re-occupying a slot a previous scale-in retired: this is a
+            # new incarnation with a fresh journal, so the merge cursor
+            # must restart too (the old incarnation's outputs were
+            # already collected before retirement).
+            self.workers[shard] = worker
+            self._logs[shard] = []
+            self._merger.reset_cursor(shard)
+            self._retired.discard(shard)
+        else:
+            self.workers.append(worker)
+            self._logs.append([])
+        if self._current_spec is not None:
+            worker.catch_up(t)
+            worker.transition(self._current_spec)
+            self._logs[shard].append(("transition", self._current_spec, t))
+        if self.telemetry is not None:
+            on_added = getattr(self.telemetry, "on_worker_added", None)
+            if on_added is not None:
+                on_added(shard, worker)
+
+    def _retire_shards(self, n_shards: int, t: float) -> None:
+        """Drop the drained workers above ``n_shards`` after a scale-in."""
+        self._collect()  # pull their remaining outputs before dropping them
+        tracer = self.metrics.tracer
+        for shard in range(n_shards, len(self.workers)):
+            worker = self.workers[shard]
+            if worker is None:
+                continue
+            self.workers[shard] = None
+            self._retired.add(shard)
+            if tracer.enabled:
+                tracer.note("shard_retired", shard=shard, at=t)
+            if self.telemetry is not None:
+                on_retired = getattr(self.telemetry, "on_worker_retired", None)
+                if on_retired is not None:
+                    on_retired(shard)
+        self.partitioner.shrink(n_shards)
 
     def _complete_key(self, session: RebalanceSession, key: Any, t: float) -> None:
         """Move one pending key's state src -> dst by muted replay."""
@@ -347,11 +744,17 @@ class ShardedExecutor:
         if tracer.enabled:
             tracer.shard_move(key, src, dst, tuples=len(live), muted=muted)
         if session.settle(key):
-            self._end_session(session)
+            self._end_session(session, t)
 
-    def _end_session(self, session: RebalanceSession) -> None:
+    def _end_session(self, session: RebalanceSession, t: float) -> None:
         if self._session is session:
             self._session = None
+        scheduler = self._scheduler
+        if scheduler is not None and scheduler.owns(session):
+            # A fluid batch drained: the scheduler emits the batch event
+            # (and the plan-level rebalance_end once the last batch goes).
+            scheduler.on_batch_complete(session, t)
+            return
         tracer = self.metrics.tracer
         if tracer.enabled:
             settled = sum(1 for m in self.moves if not m.retired)
@@ -462,6 +865,11 @@ class ShardedExecutor:
                     worker.replay(payload)
                 elif kind == "transition":
                     worker.transition(payload)
+                elif kind == "batch":
+                    # Fluid-plan batch marker: delimits which journaled
+                    # commands belong to which batch.  No worker state to
+                    # rebuild — the feeds/evicts/replays around it carry it.
+                    continue
                 else:  # pragma: no cover - log entries are internal
                     raise RuntimeError(f"unknown log entry kind {kind!r}")
         finally:

@@ -87,3 +87,14 @@ class ShardMerger:
     def cursor_of(self, shard: int) -> int:
         """Collected prefix length of one shard's log (for recovery tests)."""
         return self._cursors.get(shard, 0)
+
+    def reset_cursor(self, shard: int) -> None:
+        """Restart one shard's cursor for a fresh worker incarnation.
+
+        Used when a scale-out re-occupies a shard id that an earlier
+        scale-in retired: the old incarnation's outputs were collected
+        before retirement and stay in the merged view; the new worker's
+        log starts empty, so its cursor must start at zero — resuming at
+        the old cursor would silently skip its first outputs.
+        """
+        self._cursors[shard] = 0

@@ -123,6 +123,44 @@ class HashPartitioner:
         """Copy of the current bucket -> shard table."""
         return dict(self.assignment)
 
+    # -- resizing --------------------------------------------------------------------
+
+    def grow(self, num_shards: int) -> None:
+        """Widen the shard-id range (scale-out).
+
+        The assignment is untouched: new shards own no buckets until a
+        rebalance routes some to them.  Growing first lets the coordinator
+        validate an M-shard target assignment while buckets still point at
+        the original N shards.
+        """
+        if num_shards < self.num_shards:
+            raise ValueError(
+                f"grow cannot shrink ({self.num_shards} -> {num_shards}); use shrink"
+            )
+        self.num_shards = num_shards
+
+    def shrink(self, num_shards: int) -> None:
+        """Narrow the shard-id range (scale-in), after buckets drained.
+
+        Every bucket must already point below ``num_shards`` — i.e. the
+        rebalance plan that emptied the retiring shards has completed.
+        """
+        if num_shards <= 0:
+            raise ValueError(f"num_shards must be positive, got {num_shards}")
+        if num_shards > self.num_shards:
+            raise ValueError(
+                f"shrink cannot grow ({self.num_shards} -> {num_shards}); use grow"
+            )
+        stragglers = sorted(
+            {s for s in self.assignment.values() if s >= num_shards}
+        )
+        if stragglers:
+            raise ValueError(
+                f"cannot shrink to {num_shards} shard(s): buckets still "
+                f"assigned to shard(s) {stragglers}"
+            )
+        self.num_shards = num_shards
+
 
 def balanced_assignment(num_buckets: int, num_shards: int) -> Dict[int, int]:
     """Round-robin bucket -> shard table (the default placement)."""
@@ -132,3 +170,31 @@ def balanced_assignment(num_buckets: int, num_shards: int) -> Dict[int, int]:
 def skewed_assignment(num_buckets: int, shard: int = 0) -> Dict[int, int]:
     """All buckets on one shard — the hotspot the rebalance benchmarks fix."""
     return {b: shard for b in range(num_buckets)}
+
+
+def weighted_assignment(
+    num_buckets: int, num_shards: int, weights: Mapping[int, float]
+) -> Dict[int, int]:
+    """Load-aware bucket placement from per-bucket weights (LPT greedy).
+
+    ``weights`` maps bucket -> observed load (e.g. hot-key counts from a
+    Space-Saving sketch, summed per bucket); missing buckets weigh zero.
+    Buckets are placed heaviest-first onto the least-loaded shard, ties
+    broken by shard id then bucket id, so the table is deterministic for
+    a given weight map.  This is the target the optimizer's sketch-driven
+    rebalance trigger hands to :meth:`ShardedExecutor.fluid_rebalance`.
+    """
+    if num_shards <= 0:
+        raise ValueError(f"num_shards must be positive, got {num_shards}")
+    loads = [0.0] * num_shards
+    counts = [0] * num_shards
+    assignment: Dict[int, int] = {}
+    order = sorted(
+        range(num_buckets), key=lambda b: (-float(weights.get(b, 0.0)), b)
+    )
+    for bucket in order:
+        shard = min(range(num_shards), key=lambda s: (loads[s], counts[s], s))
+        assignment[bucket] = shard
+        loads[shard] += float(weights.get(bucket, 0.0))
+        counts[shard] += 1
+    return assignment

@@ -26,12 +26,15 @@ coordinator's view of shard state.  This module is the sanctioned caller
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Set, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.operators.state import StateStatus
 
 #: One planned key move: key -> (source shard, destination shard).
 KeyRoute = Tuple[int, int]
+
+#: One bucket move inside a plan: (bucket, source shard, destination shard).
+BucketMove = Tuple[int, int, int]
 
 
 class ShardMove:
@@ -114,6 +117,108 @@ class RebalanceSession:
         if done:
             self.status.mark_complete()
         return done
+
+
+class FluidRebalancePlan:
+    """A partitioner diff decomposed into ordered batches of bucket moves.
+
+    Megaphone's observation (PAPERS.md, arxiv 1812.01371) is that
+    migration granularity is a *knob*: moving everything at once stalls
+    the stream for the whole reconfiguration, while splitting the same
+    diff into small batches interleaved with normal processing bounds the
+    worst-case per-arrival latency by the batch size.  ``batch_keys``
+    names that knob in live-key units:
+
+    * ``1`` — per-key moves (finest; longest reconfiguration),
+    * ``n`` — batch-of-n key groups,
+    * ``0`` / ``None`` — all-at-once (one batch; the classic session
+      expressed through the scheduler).
+
+    Buckets are atomic — a bucket's keys always travel together, so a
+    batch is a run of consecutive moved buckets whose *live* key count
+    reaches ``batch_keys`` (a single oversized bucket still forms its own
+    batch; empty buckets ride along for free).  Each batch becomes one
+    :class:`RebalanceSession`, individually lazy or eager, driven by the
+    executor's ``RebalanceScheduler`` so at most one batch is ever in
+    ``PHASE_REBALANCING``.
+    """
+
+    __slots__ = ("target", "mode", "batch_keys", "batches", "started_at")
+
+    def __init__(
+        self,
+        target: Mapping[int, int],
+        mode: str,
+        batch_keys: Optional[int],
+        batches: List[List[BucketMove]],
+        started_at: float,
+    ):
+        if mode not in ("lazy", "eager"):
+            raise ValueError(f"rebalance mode must be 'lazy' or 'eager', got {mode!r}")
+        self.target = dict(target)
+        self.mode = mode
+        self.batch_keys = int(batch_keys) if batch_keys else 0
+        self.batches: Tuple[Tuple[BucketMove, ...], ...] = tuple(
+            tuple(batch) for batch in batches
+        )
+        self.started_at = started_at
+
+    @classmethod
+    def build(
+        cls,
+        moved: List[BucketMove],
+        live_keys_per_bucket: Mapping[int, int],
+        target: Mapping[int, int],
+        mode: str,
+        batch_keys: Optional[int],
+        started_at: float,
+    ) -> "FluidRebalancePlan":
+        """Group a bucket-move diff (in bucket order) into batches.
+
+        ``live_keys_per_bucket`` sizes batches by the keys that actually
+        have state to move; the executor recomputes the concrete routes
+        at each batch's open time, so these counts only shape the
+        decomposition, never correctness.
+        """
+        limit = int(batch_keys) if batch_keys else 0
+        batches: List[List[BucketMove]] = []
+        if limit <= 0:
+            if moved:
+                batches.append(list(moved))
+        else:
+            current: List[BucketMove] = []
+            current_keys = 0
+            for move in moved:
+                n = int(live_keys_per_bucket.get(move[0], 0))
+                if current and current_keys > 0 and current_keys + n > limit:
+                    batches.append(current)
+                    current = []
+                    current_keys = 0
+                current.append(move)
+                current_keys += n
+            if current:
+                batches.append(current)
+        return cls(target, mode, batch_keys, batches, started_at)
+
+    # -- queries -----------------------------------------------------------------------
+
+    @property
+    def total_batches(self) -> int:
+        return len(self.batches)
+
+    def batch(self, index: int) -> Tuple[BucketMove, ...]:
+        return self.batches[index]
+
+    def moved_buckets(self) -> List[int]:
+        """Every bucket the plan touches, in schedule order."""
+        return [move[0] for batch in self.batches for move in batch]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        grain = self.batch_keys if self.batch_keys else "all"
+        return (
+            f"FluidRebalancePlan(mode={self.mode!r}, batch_keys={grain}, "
+            f"batches={self.total_batches}, buckets={len(self.moved_buckets())})"
+        )
 
 
 def plan_key_routes(

@@ -35,7 +35,7 @@ from typing import TYPE_CHECKING, Any, Dict, List, Optional, Tuple
 from repro.obs.tracer import PHASE_STEADY, Tracer
 from repro.telemetry.estimators import SampledRate, SelectivityDriftDetector
 from repro.telemetry.expo import SnapshotLog, registry_snapshot
-from repro.telemetry.registry import Counter, Gauge, MetricsRegistry
+from repro.telemetry.registry import Counter, Gauge, Histogram, MetricsRegistry
 from repro.telemetry.sketch import SpaceSavingSketch
 
 if TYPE_CHECKING:  # pragma: no cover - types only
@@ -207,6 +207,8 @@ class TelemetryTracer(Tracer):
         self._keys_retired_total: Counter
         self._keys_settled_total: Counter
         self._moved_tuples_total: Counter
+        self._batches_remaining: Gauge
+        self._batch_latency: Histogram
         # Optimizer-trigger series follow the same lazy pattern: only hubs
         # driven by an adaptive engine ever see a trigger decision.
         self._trigger_series_ready = False
@@ -511,6 +513,8 @@ class TelemetryTracer(Tracer):
         self._keys_retired_total = reg.counter("shard_keys_retired_total", **labels)
         self._keys_settled_total = reg.counter("shard_keys_settled_total", **labels)
         self._moved_tuples_total = reg.counter("shard_moved_tuples_total", **labels)
+        self._batches_remaining = reg.gauge("shard_rebalance_batches_remaining", **labels)
+        self._batch_latency = reg.histogram("shard_batch_move_latency", **labels)
         self._shard_series_ready = True
 
     def rebalance_start(self, mode: str, **data: Any) -> None:
@@ -523,8 +527,27 @@ class TelemetryTracer(Tracer):
     def rebalance_end(self, mode: str, **data: Any) -> None:
         self._register_shard_series()
         self._rebalance_pending.set(0)
+        self._batches_remaining.set(0)
         if self._inner is not None:
             self._inner.rebalance_end(mode, **data)
+
+    def rebalance_batch_start(self, index: int, total: int, **data: Any) -> None:
+        self._register_shard_series()
+        self._batches_remaining.set(total - index)
+        keys = int(data.get("keys", 0))
+        if keys:
+            self._rebalance_pending.set(keys)
+        if self._inner is not None:
+            self._inner.rebalance_batch_start(index, total, **data)
+
+    def rebalance_batch_end(self, index: int, total: int, **data: Any) -> None:
+        self._register_shard_series()
+        self._batches_remaining.set(total - index - 1)
+        duration = data.get("duration")
+        if duration is not None:
+            self._batch_latency.observe(float(duration))
+        if self._inner is not None:
+            self._inner.rebalance_batch_end(index, total, **data)
 
     def shard_move(self, key: Any, src: int, dst: int, **data: Any) -> None:
         self._register_shard_series()
@@ -652,6 +675,12 @@ class TelemetryTracer(Tracer):
             for stream, rate in sorted(self._stream_rates.items())
         }
 
+    @property
+    def arrivals_seen(self) -> int:
+        """Total arrivals this hub has observed (the shard-load signal the
+        optimizer's rebalance trigger differences per evaluation window)."""
+        return self._arrivals
+
 
 class ShardTelemetry:
     """One shared registry over a :class:`ShardedExecutor`'s workers.
@@ -703,6 +732,24 @@ class ShardTelemetry:
     def on_worker_recovered(self, shard: int, worker: "ShardWorker") -> None:
         """Crash-recovery hook: re-attach and re-register the shard's series."""
         self._attach_worker(shard, worker)
+
+    def on_worker_added(self, shard: int, worker: "ShardWorker") -> None:
+        """Scale-out hook: give the freshly spun-up worker its own hub.
+
+        A re-occupied shard id (scale-out after scale-in) gets a fresh
+        attachment over the existing series — the registry is labeled by
+        shard, so the new incarnation continues the old id's series, same
+        as crash recovery does.
+        """
+        self._attach_worker(shard, worker)
+
+    def on_worker_retired(self, shard: int) -> None:
+        """Scale-in hook: stop syncing the retired worker's hub.
+
+        Its series stay in the registry (history is part of the story the
+        dashboard tells); they just stop advancing.
+        """
+        self.workers.pop(shard, None)
 
     def sync(self) -> MetricsRegistry:
         """Materialize every hub into the shared registry."""

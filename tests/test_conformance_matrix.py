@@ -20,6 +20,7 @@ from repro.optimizer.adaptive import AdaptiveEngine
 from repro.optimizer.triggers import HysteresisTrigger
 from repro.shard import (
     RebalanceEvent,
+    ResizeEvent,
     ShardedExecutor,
     balanced_assignment,
     skewed_assignment,
@@ -134,6 +135,55 @@ def test_sharding_is_invisible_relative_to_single_engine(strategy):
         assert MultiSet(ex.output_lineages()) == reference, (
             f"{strategy} with {num_shards} shards diverged from single-engine"
         )
+
+
+# ---------------------------------------------------------------------------
+# Fluid-rebalancing rows: strategy x granularity x completion mode x shape.
+#
+# Every strategy must survive a *fluid* plan — the rebalance decomposed
+# into batches interleaved with arrivals — at every granularity (per-key,
+# batch-of-4, all-at-once), with each batch completed lazily or eagerly,
+# across three plan shapes: a stay-at-N hotspot fix, a 2->4 scale-out and
+# a 4->2 scale-in, both mid-stream via ResizeEvent.  Fluid rebalancing,
+# like everything else in this matrix, must be invisible in the output.
+
+FLUID_STRATEGIES = STRATEGIES + ("static",)
+
+#: shape -> (initial shard count, initial assignment, mid-stream event factory)
+FLUID_SHAPES = {
+    "stay": (
+        2,
+        skewed_assignment(64, 0),
+        lambda mode, bk: RebalanceEvent(balanced_assignment(64, 2), mode, batch_keys=bk),
+    ),
+    "grow": (2, None, lambda mode, bk: ResizeEvent(4, mode, batch_keys=bk)),
+    "shrink": (4, None, lambda mode, bk: ResizeEvent(2, mode, batch_keys=bk)),
+}
+
+
+@pytest.mark.parametrize("shape", sorted(FLUID_SHAPES))
+@pytest.mark.parametrize("mode", ["lazy", "eager"])
+@pytest.mark.parametrize("batch_keys", [1, 4, 0], ids=["per-key", "batch-of-4", "all"])
+@pytest.mark.parametrize("strategy", FLUID_STRATEGIES)
+def test_fluid_rebalance_matches_oracle(strategy, batch_keys, mode, shape):
+    expected = oracle_multiset("uniform")
+    num_shards, assignment, make_event = FLUID_SHAPES[shape]
+    events = list(WORKLOADS["uniform"])
+    events.insert(75, make_event(mode, batch_keys))
+    ex = ShardedExecutor(
+        SCHEMA, NAMES, num_shards=num_shards, strategy=strategy, assignment=assignment
+    )
+    ex.run(events)
+    ex.drain_rebalance()  # a lazy tail batch may still be pending at EOS
+    lineages = ex.output_lineages()
+    got = MultiSet(tuple(sorted(lineage)) for lineage in lineages)
+    assert got == expected, (
+        f"{strategy}/{shape}/{mode}/batch_keys={batch_keys}: "
+        f"missing={dict(list((expected - got).items())[:3])} "
+        f"spurious={dict(list((got - expected).items())[:3])}"
+    )
+    assert set(got) == set(expected)
+    assert len(lineages) == len(set(lineages))
 
 
 # ---------------------------------------------------------------------------

@@ -51,6 +51,19 @@ def test_all_crash_points_during_migration_window():
     assert failures == []
 
 
+@pytest.mark.parametrize("mode", ["lazy", "eager"])
+@pytest.mark.parametrize("n_from,n_to", [(2, 4), (4, 2)])
+def test_crash_inside_a_resize_plan(mode, n_from, n_to):
+    """The ``--during-rebalance`` family, scaled down: every shard is
+    crashed at every arrival inside an in-flight fluid resize plan, and
+    the run must end with the crash-free routing table and output."""
+    runs, failures = sweep.rebalance_crash_sweep(
+        "jisc", mode, n_from, n_to, batch_keys=2, n_tuples=36, resize_at=15
+    )
+    assert runs > 0
+    assert failures == []
+
+
 def test_cli_sweep_smoke(capsys):
     code = sweep.main(
         ["--strategies", "jisc", "--tuples", "12", "--checkpoint-every", "4"]

@@ -19,6 +19,7 @@ from repro.shard.partition import (
     balanced_assignment,
     skewed_assignment,
     stable_hash,
+    weighted_assignment,
 )
 
 keys = hst.one_of(
@@ -157,3 +158,55 @@ def test_assignment_helpers():
     moves = p.moves_to(skewed)
     assert all(dst == 1 for _, _, dst in moves)
     assert len(moves) == sum(1 for b in balanced if balanced[b] != 1)
+
+
+# -- grow / shrink / weighted placement ----------------------------------------
+
+
+def test_grow_widens_without_moving_buckets():
+    p = HashPartitioner(2, 8, balanced_assignment(8, 2))
+    before = p.assignment
+    p.grow(4)
+    assert p.num_shards == 4
+    assert p.assignment == before  # widening moves nothing by itself
+    with pytest.raises(ValueError):
+        p.grow(3)  # cannot shrink via grow
+
+
+def test_shrink_requires_drained_shards():
+    p = HashPartitioner(4, 8, balanced_assignment(8, 4))
+    with pytest.raises(ValueError, match="still assigned"):
+        p.shrink(2)  # buckets still live on shards 2 and 3
+    p.apply(balanced_assignment(8, 2))
+    p.shrink(2)
+    assert p.num_shards == 2
+    with pytest.raises(ValueError):
+        p.shrink(0)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    num_shards=hst.integers(min_value=1, max_value=6),
+    weights=hst.dictionaries(
+        hst.integers(min_value=0, max_value=15),
+        hst.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+        max_size=16,
+    ),
+)
+def test_weighted_assignment_is_total_and_balanced(num_shards, weights):
+    table = weighted_assignment(16, num_shards, weights)
+    assert sorted(table) == list(range(16))  # every bucket placed
+    assert all(0 <= s < num_shards for s in table.values())
+    # deterministic for a given weight map
+    assert table == weighted_assignment(16, num_shards, weights)
+    # LPT bound: no shard exceeds fair share + the heaviest single bucket
+    loads = [0.0] * num_shards
+    for b, s in table.items():
+        loads[s] += float(weights.get(b, 0.0))
+    total = sum(loads)
+    heaviest = max((float(w) for w in weights.values()), default=0.0)
+    assert max(loads) <= total / num_shards + heaviest + 1e-6
+    # zero-weight buckets still spread by count, not piled on one shard
+    from collections import Counter
+    counts = Counter(table.values())
+    assert max(counts.values()) - min(counts.values()) <= 1 or heaviest > 0
